@@ -1,0 +1,59 @@
+// Command espfmt pretty-prints ESP source in the canonical style (the
+// ast printer's output, which reparses to an identical tree).
+//
+// Usage:
+//
+//	espfmt file.esp          # print formatted source to stdout
+//	espfmt -w file.esp ...   # rewrite files in place
+//	espfmt -d file.esp       # exit 1 if the file is not formatted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"esplang/internal/ast"
+	"esplang/internal/parser"
+)
+
+func main() {
+	write := flag.Bool("w", false, "write result back to the file")
+	diff := flag.Bool("d", false, "exit non-zero when a file is not canonically formatted")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: espfmt [-w|-d] file.esp ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espfmt: %v\n", err)
+			exit = 1
+			continue
+		}
+		tree, err := parser.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espfmt: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		formatted := ast.Print(tree)
+		switch {
+		case *write:
+			if err := os.WriteFile(path, []byte(formatted), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "espfmt: %v\n", err)
+				exit = 1
+			}
+		case *diff:
+			if formatted != string(src) {
+				fmt.Printf("%s: not formatted\n", path)
+				exit = 1
+			}
+		default:
+			fmt.Print(formatted)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,121 @@
+// Command esprun executes an ESP program on the bundled virtual machine,
+// binding its external channels to standard input and output:
+//
+//   - every external-writer channel with a single scalar-parameter
+//     interface case reads whitespace-separated integers from stdin;
+//   - every external-reader channel prints "<channel>: <value>" lines.
+//
+// This is the quickest way to try a program:
+//
+//	echo "1 10 37" | esprun add5.esp
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	esplang "esplang"
+	"esplang/internal/ir"
+	"esplang/internal/vm"
+)
+
+func main() {
+	var (
+		maxObjects = flag.Int("max-objects", 4096, "live-object bound (0 = unlimited)")
+		showStats  = flag.Bool("stats", false, "print machine statistics at exit")
+		showCycles = flag.Bool("cycles", false, "print consumed cycles at exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: esprun [flags] program.esp  (stdin feeds external inputs)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prog, err := esplang.CompileFile(flag.Arg(0), esplang.CompileOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
+		os.Exit(1)
+	}
+	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: *maxObjects})
+
+	// Read all stdin integers up front; feed them round-robin to the
+	// external writer channels in declaration order.
+	var inputs []int64
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseInt(sc.Text(), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esprun: bad input %q\n", sc.Text())
+			os.Exit(1)
+		}
+		inputs = append(inputs, v)
+	}
+
+	bound := false
+	for _, ch := range prog.IR.Channels {
+		switch ch.Ext {
+		case ir.ExtWriter:
+			if len(ch.Cases) != 1 || len(ch.Cases[0].ParamTypes) != 1 || !ch.Cases[0].ParamTypes[0].IsScalar() {
+				fmt.Fprintf(os.Stderr, "esprun: channel %s needs a single one-scalar interface case to read from stdin\n", ch.Name)
+				os.Exit(1)
+			}
+			q := &esplang.QueueWriter{}
+			for _, v := range inputs {
+				v := v
+				q.Push(0, func(*esplang.Machine) esplang.Value { return esplang.IntVal(v) })
+			}
+			inputs = nil // first writer channel consumes stdin
+			if err := m.BindWriter(ch.Name, q); err != nil {
+				fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
+				os.Exit(1)
+			}
+			bound = true
+		case ir.ExtReader:
+			name := ch.Name
+			if err := m.BindReader(ch.Name, printReader{name}); err != nil {
+				fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	_ = bound
+
+	res := m.Run()
+	if res == vm.RunFault {
+		fmt.Fprintf(os.Stderr, "esprun: %v\n", m.Fault())
+		os.Exit(1)
+	}
+	if *showCycles {
+		fmt.Fprintf(os.Stderr, "cycles: %d\n", m.Cycles)
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "stats: %+v\n", m.Stats)
+	}
+}
+
+// printReader prints every received value.
+type printReader struct{ name string }
+
+func (printReader) Ready(*vm.Machine) bool { return true }
+
+func (r printReader) Put(_ *vm.Machine, v vm.Value) {
+	fmt.Printf("%s: %s\n", r.name, format(vm.Snap(v)))
+}
+
+func format(s vm.Snapshot) string {
+	if s.Obj == nil {
+		return fmt.Sprintf("%d", s.Scalar)
+	}
+	out := "{"
+	for i := range s.Obj.Elems {
+		if i > 0 {
+			out += ", "
+		}
+		out += format(s.Field(i))
+	}
+	return out + "}"
+}

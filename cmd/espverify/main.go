@@ -1,0 +1,81 @@
+// Command espverify model-checks an ESP program — the role SPIN plays in
+// the paper's Figure 4. The program must be closed: test-driver processes
+// written in ESP (the analogue of test.SPIN) stand in for the external
+// environment.
+//
+// Usage:
+//
+//	espverify [flags] program.esp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	esplang "esplang"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "exhaustive", "exploration mode: exhaustive, bitstate, simulation (§5.1)")
+		maxStates = flag.Int("max-states", 0, "state bound (0 = default)")
+		maxDepth  = flag.Int("max-depth", 0, "depth bound (0 = default)")
+		bits      = flag.Uint("bits", 24, "bitstate mode: log2 of the bit array size")
+		seed      = flag.Int64("seed", 1, "simulation mode: random seed")
+		runs      = flag.Int("runs", 100, "simulation mode: number of walks")
+		maxLive   = flag.Int("max-objects", 0, "objectId table size; exhausting it is a leak (§5.2)")
+		endRecv   = flag.Bool("end-recv-ok", false, "treat all-receive-blocked states as valid end states")
+		noDead    = flag.Bool("no-deadlock", false, "do not report deadlocks")
+		progress  = flag.String("progress", "", "comma-separated progress channels: report non-progress cycles (starvation) instead of safety")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: espverify [flags] program.esp")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prog, err := esplang.CompileFile(flag.Arg(0), esplang.CompileOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "espverify: %v\n", err)
+		os.Exit(1)
+	}
+
+	opts := esplang.VerifyOptions{
+		MaxStates:       *maxStates,
+		MaxDepth:        *maxDepth,
+		BitstateBits:    *bits,
+		Seed:            *seed,
+		SimRuns:         *runs,
+		MaxLiveObjects:  *maxLive,
+		EndRecvOK:       *endRecv,
+		NoDeadlockCheck: *noDead,
+	}
+	switch *mode {
+	case "exhaustive":
+		opts.Mode = esplang.Exhaustive
+	case "bitstate":
+		opts.Mode = esplang.BitState
+	case "simulation":
+		opts.Mode = esplang.Simulation
+	default:
+		fmt.Fprintf(os.Stderr, "espverify: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var res *esplang.VerifyResult
+	if *progress != "" {
+		res = prog.VerifyProgress(strings.Split(*progress, ","), opts)
+	} else {
+		res = prog.Verify(opts)
+	}
+	fmt.Println(res)
+	if res.Violation != nil {
+		fmt.Println("counterexample:")
+		for i, step := range res.Violation.Trace {
+			fmt.Printf("  %3d. %s\n", i+1, step.Desc)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,247 @@
+// Package esplang is a complete implementation of ESP — the language for
+// programmable devices from "ESP: A Language for Programmable Devices"
+// (Kumar, Mandelbaum, Yu, Li; PLDI 2001).
+//
+// ESP programs are compiled once and then used three ways, mirroring
+// Figure 4 of the paper:
+//
+//   - Program.C emits the C translation (pgm.C) that, combined with the
+//     programmer's helper C code, becomes device firmware;
+//   - Program.Promela emits the SPIN specification (pgm.SPIN) to combine
+//     with hand-written test drivers;
+//   - Program.Machine runs the program directly on the bundled virtual
+//     machine (the execution substrate this repository's firmware
+//     simulations use), and Program.Verify explores its state space with
+//     the bundled explicit-state model checker.
+//
+// Quick start:
+//
+//	prog, err := esplang.Compile(src, esplang.CompileOptions{})
+//	m := prog.Machine(esplang.MachineConfig{})
+//	m.BindWriter("inC", inputQueue)
+//	m.BindReader("outC", collector)
+//	m.Run()
+package esplang
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"esplang/internal/ast"
+	"esplang/internal/cbackend"
+	"esplang/internal/check"
+	"esplang/internal/compile"
+	"esplang/internal/ir"
+	"esplang/internal/mc"
+	"esplang/internal/opt"
+	"esplang/internal/parser"
+	"esplang/internal/promela"
+	"esplang/internal/vm"
+)
+
+// Re-exported runtime types: the public names downstream code uses.
+type (
+	// Machine executes a compiled program (see internal/vm).
+	Machine = vm.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = vm.Config
+	// Value is a runtime value.
+	Value = vm.Value
+	// Fault is a runtime fault (assertion, memory safety, ...).
+	Fault = vm.Fault
+	// ExternalWriter is the environment side of an external-writer channel.
+	ExternalWriter = vm.ExternalWriter
+	// ExternalReader is the environment side of an external-reader channel.
+	ExternalReader = vm.ExternalReader
+	// QueueWriter is a FIFO-backed ExternalWriter.
+	QueueWriter = vm.QueueWriter
+	// CollectReader is an ExternalReader that snapshots received values.
+	CollectReader = vm.CollectReader
+	// Snapshot is a Go-native copy of a machine value.
+	Snapshot = vm.Snapshot
+
+	// VerifyOptions configures model checking (see internal/mc).
+	VerifyOptions = mc.Options
+	// VerifyResult reports a model-checking run.
+	VerifyResult = mc.Result
+	// Violation is a property failure with its counterexample trace.
+	Violation = mc.Violation
+
+	// COptions configures C generation.
+	COptions = cbackend.Options
+	// PromelaOptions configures Promela generation.
+	PromelaOptions = promela.Options
+	// OptOptions selects optimizer passes.
+	OptOptions = opt.Options
+)
+
+// Verification modes (re-exported).
+const (
+	Exhaustive = mc.Exhaustive
+	BitState   = mc.BitState
+	Simulation = mc.Simulation
+)
+
+// Value constructors (re-exported).
+var (
+	IntVal  = vm.IntVal
+	BoolVal = vm.BoolVal
+)
+
+// CompileOptions controls compilation.
+type CompileOptions struct {
+	// Name labels the program in diagnostics and generated files.
+	Name string
+	// NoOptimize disables the §6.1 IR optimization passes.
+	NoOptimize bool
+	// Passes overrides the optimizer pipeline when non-zero.
+	Passes OptOptions
+}
+
+// Program is a compiled ESP program.
+type Program struct {
+	Name   string
+	Source string
+
+	AST  *ast.Program
+	Info *check.Info
+	IR   *ir.Program
+}
+
+// Compile parses, type-checks, lowers, and optimizes an ESP program.
+func Compile(src string, opts CompileOptions) (*Program, error) {
+	tree, err := parser.Parse([]byte(src))
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := check.Check(tree)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	irProg := compile.Program(tree, info)
+	irProg.Name = opts.Name
+	irProg.Source = src
+	if !opts.NoOptimize {
+		passes := opts.Passes
+		if passes == (OptOptions{}) {
+			passes = opt.All()
+		}
+		opt.Optimize(irProg, passes)
+	}
+	return &Program{Name: opts.Name, Source: src, AST: tree, Info: info, IR: irProg}, nil
+}
+
+// CompileFile reads and compiles an ESP source file.
+func CompileFile(path string, opts CompileOptions) (*Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	return Compile(string(src), opts)
+}
+
+// MustCompile compiles or panics; for embedded programs known to be valid.
+func MustCompile(src string, opts CompileOptions) *Program {
+	p, err := Compile(src, opts)
+	if err != nil {
+		panic(fmt.Sprintf("esplang: MustCompile: %v", err))
+	}
+	return p
+}
+
+// Machine creates a virtual machine running the program.
+func (p *Program) Machine(cfg MachineConfig) *Machine {
+	return vm.New(p.IR, cfg)
+}
+
+// Verify model-checks the program (the programmer's test driver processes
+// must be part of the program, like the paper's test.SPIN files).
+func (p *Program) Verify(opts VerifyOptions) *VerifyResult {
+	return mc.Check(p.IR, opts)
+}
+
+// VerifyProgress checks for starvation: a reachable cycle containing no
+// communication on any of the named progress channels (SPIN's
+// non-progress cycle detection, the role LTL liveness plays in §5.1).
+func (p *Program) VerifyProgress(progressChannels []string, opts VerifyOptions) *VerifyResult {
+	return mc.CheckProgress(p.IR, progressChannels, opts)
+}
+
+// C renders the C translation of the program (pgm.C in Figure 4).
+func (p *Program) C(opts COptions) string {
+	return cbackend.Generate(p.IR, opts)
+}
+
+// Promela renders the SPIN specification (pgm.SPIN in Figure 4).
+func (p *Program) Promela(opts PromelaOptions) string {
+	return promela.Generate(p.AST, p.Info, opts)
+}
+
+// Disasm renders the compiled IR of every process.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for _, proc := range p.IR.Procs {
+		b.WriteString(ir.Disasm(proc))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stats summarizes the program.
+type Stats struct {
+	Processes    int
+	Channels     int
+	Types        int
+	Instructions int
+	SourceLines  int
+	DeclLines    int // lines of type/channel/const/interface declarations
+	ProcessLines int // lines inside process bodies
+}
+
+// Stats computes program statistics (used by the paper's line-count
+// comparison, §4.6).
+func (p *Program) Stats() Stats {
+	s := Stats{
+		Processes: len(p.IR.Procs),
+		Channels:  len(p.IR.Channels),
+		Types:     len(p.Info.Universe.All()),
+	}
+	for _, proc := range p.IR.Procs {
+		s.Instructions += len(proc.Code)
+	}
+	s.SourceLines, s.DeclLines, s.ProcessLines = countLines(p.Source)
+	return s
+}
+
+// countLines counts non-blank, non-comment source lines, split into
+// declaration lines and process-body lines (the paper reports "200 lines
+// of declarations + 300 lines of process code", §4.6).
+func countLines(src string) (total, decl, proc int) {
+	inProc := false
+	depth := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		total++
+		if !inProc && strings.HasPrefix(t, "process ") {
+			inProc = true
+			depth = 0
+		}
+		if inProc {
+			proc++
+			depth += strings.Count(t, "{") - strings.Count(t, "}")
+			if depth <= 0 && strings.Contains(t, "}") {
+				inProc = false
+			}
+		} else {
+			decl++
+		}
+	}
+	return total, decl, proc
+}

@@ -1,0 +1,148 @@
+package esplang_test
+
+import (
+	"strings"
+	"testing"
+
+	esplang "esplang"
+)
+
+const quickSrc = `
+channel inC: int external writer
+channel outC: int external reader
+interface inI( out inC) { Put( $v) }
+process add5 {
+    while (true) {
+        in( inC, $i);
+        out( outC, i+5);
+    }
+}
+`
+
+func TestCompileAndRun(t *testing.T) {
+	prog, err := esplang.Compile(quickSrc, esplang.CompileOptions{Name: "add5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Machine(esplang.MachineConfig{})
+	in := &esplang.QueueWriter{}
+	out := &esplang.CollectReader{}
+	if err := m.BindWriter("inC", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	in.Push(0, func(_ *esplang.Machine) esplang.Value { return esplang.IntVal(37) })
+	m.Run()
+	if len(out.Values) != 1 || out.Values[0].Int() != 42 {
+		t.Errorf("got %v, want [42]", out.Values)
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	_, err := esplang.Compile("process p { x = 1; }", esplang.CompileOptions{})
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("err = %v, want undefined-variable error", err)
+	}
+	_, err = esplang.Compile("process p {", esplang.CompileOptions{})
+	if err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("err = %v, want parse error", err)
+	}
+}
+
+func TestBothTargets(t *testing.T) {
+	prog, err := esplang.Compile(quickSrc, esplang.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.C(esplang.COptions{})
+	if !strings.Contains(c, "void esp_run(void)") {
+		t.Error("C target missing esp_run")
+	}
+	pml := prog.Promela(esplang.PromelaOptions{})
+	if !strings.Contains(pml, "proctype add5()") {
+		t.Error("Promela target missing proctype")
+	}
+}
+
+func TestVerifyThroughAPI(t *testing.T) {
+	prog, err := esplang.Compile(`
+channel c: int
+process p { out( c, 41); }
+process q { in( c, $v); assert( v == 42); }
+`, esplang.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Verify(esplang.VerifyOptions{})
+	if res.Violation == nil {
+		t.Error("verification missed the assertion violation")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	prog := esplang.MustCompile(quickSrc, esplang.CompileOptions{})
+	d := prog.Disasm()
+	if !strings.Contains(d, "process add5") || !strings.Contains(d, "recv chan=") {
+		t.Errorf("disassembly incomplete:\n%s", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	prog := esplang.MustCompile(quickSrc, esplang.CompileOptions{})
+	s := prog.Stats()
+	if s.Processes != 1 || s.Channels != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.SourceLines == 0 || s.DeclLines == 0 || s.ProcessLines == 0 {
+		t.Errorf("line counts missing: %+v", s)
+	}
+	if s.DeclLines+s.ProcessLines != s.SourceLines {
+		t.Errorf("line split inconsistent: %d + %d != %d", s.DeclLines, s.ProcessLines, s.SourceLines)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on invalid source")
+		}
+	}()
+	esplang.MustCompile("bogus", esplang.CompileOptions{})
+}
+
+func TestNoOptimize(t *testing.T) {
+	src := `
+channel outC: int external reader
+process p { $x = 1 + 2; out( outC, x); }
+`
+	opt := esplang.MustCompile(src, esplang.CompileOptions{})
+	raw := esplang.MustCompile(src, esplang.CompileOptions{NoOptimize: true})
+	if opt.Stats().Instructions >= raw.Stats().Instructions {
+		t.Errorf("optimization did not shrink code: %d vs %d",
+			opt.Stats().Instructions, raw.Stats().Instructions)
+	}
+}
+
+func TestVerifyProgressThroughAPI(t *testing.T) {
+	prog, err := esplang.Compile(`
+channel chat: int
+channel back: int
+channel work: int
+process a { while (true) { out( chat, 1); in( back, $x); } }
+process b { while (true) { in( chat, $y); out( back, y); } }
+process w { while (true) { in( work, $v); } }
+`, esplang.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.VerifyProgress([]string{"work"}, esplang.VerifyOptions{})
+	if res.Violation == nil {
+		t.Error("starvation not found through the API")
+	}
+	res = prog.VerifyProgress([]string{"chat"}, esplang.VerifyOptions{})
+	if res.Violation != nil {
+		t.Errorf("false starvation: %v", res.Violation)
+	}
+}

@@ -1,0 +1,54 @@
+// Memsafety replays §5.2/§5.3: memory safety is a local property of each
+// ESP process, so the verifier can check it exhaustively — and it finds
+// every seeded allocation bug (use-after-free, double free, leak via
+// objectId exhaustion) with a counterexample trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esplang "esplang"
+	"esplang/internal/nic"
+	"esplang/internal/vmmc"
+)
+
+func main() {
+	fmt.Println("§5.2/§5.3: exhaustive memory-safety checking")
+	fmt.Println()
+
+	// The clean data path verifies.
+	res, err := vmmc.VerifyMemSafety(vmmc.BugNone, esplang.VerifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean data path:       %s\n", res)
+	if res.Violation != nil {
+		log.Fatal("the clean model must verify")
+	}
+
+	// Every seeded bug is found (the paper: "in every case").
+	for _, bug := range []vmmc.MemBug{vmmc.BugLeak, vmmc.BugUseAfterFree, vmmc.BugDoubleFree} {
+		res, err := vmmc.VerifyMemSafety(bug, esplang.VerifyOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("seeded %-14s  %s\n", bug.String()+":", res)
+		if res.Violation == nil {
+			log.Fatalf("seeded %s not found", bug)
+		}
+		if res.Violation.Fault != nil {
+			fmt.Printf("  -> %v\n", res.Violation.Fault)
+		}
+	}
+
+	// The same checks also run against the whole firmware model: the
+	// live-object bound is the fixed-size objectId table of §5.2, so a
+	// leak anywhere eventually exhausts it during the search.
+	fmt.Println()
+	fw, err := vmmc.VerifyFirmware(nic.DefaultConfig(), 2, esplang.VerifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whole firmware model:  %s\n", fw)
+}

@@ -1,0 +1,64 @@
+// Vmmc runs the paper's case study end to end: two simulated machines
+// with Myrinet NICs, one pair running the ESP firmware on the ESP virtual
+// machine and one pair running the hand-written event-driven baseline,
+// exchanging real messages through simulated DMA engines and a wire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esplang "esplang"
+	"esplang/internal/nic"
+	"esplang/internal/vmmc"
+)
+
+func main() {
+	cfg := nic.DefaultConfig()
+
+	fmt.Println("== the firmware itself ==")
+	prog, err := esplang.Compile(vmmc.ESPSource(cfg), esplang.CompileOptions{Name: "vmmcESP"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := prog.Stats()
+	fmt.Printf("ESP VMMC firmware: %d lines (%d declarations + %d process code),\n",
+		s.SourceLines, s.DeclLines, s.ProcessLines)
+	fmt.Printf("%d processes, %d channels — the paper's §4.6 shape.\n\n", s.Processes, s.Channels)
+
+	fmt.Println("== one message, step by step ==")
+	c, err := vmmc.NewCluster(vmmc.ESP, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Hosts[0].Update(0x1000, 0x8000) // map the source page
+	c.Hosts[0].Send(0x1000, 0x2000, 6000)
+	c.Run(0)
+	nt := c.Hosts[1].Recvd[0]
+	fmt.Printf("machine 0 sent 6000 B (2 pages) -> machine 1 notified at t=%.1f us\n",
+		float64(nt.Time)/1000)
+	fmt.Printf("sender NIC: %d data packets, %d host-DMA transfers, %d CPU cycles\n",
+		c.NICs[0].PktsSent, c.NICs[0].HostDMA.Transfers, c.NICs[0].CPUCycles)
+	fmt.Printf("receiver NIC: %d packets in, %d host-DMA transfers, %d CPU cycles\n\n",
+		c.NICs[1].PktsRecv, c.NICs[1].HostDMA.Transfers, c.NICs[1].CPUCycles)
+
+	fmt.Println("== the three firmware flavors on the same hardware ==")
+	fmt.Printf("%-22s %14s %14s %14s\n", "", "4B latency", "1KB one-way", "4KB bidir")
+	for _, fl := range []vmmc.Flavor{vmmc.ESP, vmmc.Orig, vmmc.OrigNoFastPaths} {
+		lat, err := vmmc.PingPong(fl, cfg, 4, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw, err := vmmc.OneWay(fl, cfg, 1024, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd, err := vmmc.Bidirectional(fl, cfg, 4096, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %11.1f us %9.1f MB/s %9.1f MB/s\n", fl, lat/1000, bw, bd)
+	}
+	fmt.Println("\n(Figure 5's shape: ESP slowest, fast paths help the baseline most")
+	fmt.Println(" on small messages, and the gaps close as DMA time dominates.)")
+}

@@ -1,0 +1,3 @@
+module esplang
+
+go 1.22

@@ -1,0 +1,597 @@
+// Package ast declares the abstract syntax tree of the ESP language.
+//
+// The tree mirrors the surface syntax of the paper (PLDI 2001): a program
+// is a flat list of type, constant, channel, interface, and process
+// declarations. Patterns share expression nodes; a Binding node ($x) is
+// only legal in pattern (lvalue) positions, which the type checker
+// enforces.
+package ast
+
+import (
+	"esplang/internal/token"
+)
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Program and declarations
+
+// Program is a parsed ESP compilation unit.
+type Program struct {
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (p *Program) Pos() token.Pos {
+	if len(p.Decls) > 0 {
+		return p.Decls[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// TypeDecl is "type name = typeexpr".
+type TypeDecl struct {
+	TokPos token.Pos
+	Name   *Ident
+	Type   TypeExpr
+}
+
+// ConstDecl is "const name = intlit ;".
+type ConstDecl struct {
+	TokPos token.Pos
+	Name   *Ident
+	Value  int64
+}
+
+// ExtDir describes which side of a channel is external (implemented in C /
+// by the host environment) if any.
+type ExtDir int
+
+// External channel directions.
+const (
+	ExtNone   ExtDir = iota // ordinary internal channel
+	ExtReader               // external code receives from the channel
+	ExtWriter               // external code sends on the channel
+)
+
+func (d ExtDir) String() string {
+	switch d {
+	case ExtReader:
+		return "external reader"
+	case ExtWriter:
+		return "external writer"
+	}
+	return "internal"
+}
+
+// ChannelDecl is "channel name : typeexpr [external reader|writer] ;".
+// The external annotation may also be established by an InterfaceDecl.
+type ChannelDecl struct {
+	TokPos token.Pos
+	Name   *Ident
+	Elem   TypeExpr
+	Ext    ExtDir
+}
+
+// IfaceCase is one named pattern of an external interface: Name(Pattern).
+// Bindings ($x) in the pattern become the parameters of the generated C
+// function for that case.
+type IfaceCase struct {
+	Name    *Ident
+	Pattern Expr
+}
+
+// InterfaceDecl declares the external C interface of a channel (§4.5):
+//
+//	interface userReq( out userReqC) { Send( pattern), Update( pattern) }
+//
+// Dir is the direction from the point of view of the external code:
+// "out chan" means external code writes into the channel (external writer).
+type InterfaceDecl struct {
+	TokPos token.Pos
+	Name   *Ident
+	Dir    token.Kind // token.IN or token.OUT
+	Chan   *Ident
+	Cases  []IfaceCase
+}
+
+// ProcessDecl is "process name { stmts }".
+type ProcessDecl struct {
+	TokPos token.Pos
+	Name   *Ident
+	Body   *Block
+}
+
+func (d *TypeDecl) Pos() token.Pos      { return d.TokPos }
+func (d *ConstDecl) Pos() token.Pos     { return d.TokPos }
+func (d *ChannelDecl) Pos() token.Pos   { return d.TokPos }
+func (d *InterfaceDecl) Pos() token.Pos { return d.TokPos }
+func (d *ProcessDecl) Pos() token.Pos   { return d.TokPos }
+
+func (*TypeDecl) declNode()      {}
+func (*ConstDecl) declNode()     {}
+func (*ChannelDecl) declNode()   {}
+func (*InterfaceDecl) declNode() {}
+func (*ProcessDecl) declNode()   {}
+
+// ---------------------------------------------------------------------------
+// Type expressions
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeExprNode()
+}
+
+// NamedType refers to a declared type by name.
+type NamedType struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// PrimType is "int" or "bool".
+type PrimType struct {
+	TokPos token.Pos
+	Kind   token.Kind // token.INTTYPE or token.BOOLTYPE
+}
+
+// FieldDef is a "name : type" member of a record or union.
+type FieldDef struct {
+	Name *Ident
+	Type TypeExpr
+}
+
+// RecordType is "[#] record of { f1: t1, ... }".
+type RecordType struct {
+	TokPos  token.Pos
+	Mutable bool
+	Fields  []FieldDef
+}
+
+// UnionType is "[#] union of { f1: t1, ... }".
+type UnionType struct {
+	TokPos  token.Pos
+	Mutable bool
+	Fields  []FieldDef
+}
+
+// ArrayType is "[#] array of t [bound]". Bound, when positive, is the
+// fixed size used by the verification backends (SPIN has no dynamic
+// arrays, §5.2); 0 means "unspecified", and the verifier configuration
+// supplies a default.
+type ArrayType struct {
+	TokPos  token.Pos
+	Mutable bool
+	Elem    TypeExpr
+	Bound   int64
+}
+
+func (t *NamedType) Pos() token.Pos  { return t.NamePos }
+func (t *PrimType) Pos() token.Pos   { return t.TokPos }
+func (t *RecordType) Pos() token.Pos { return t.TokPos }
+func (t *UnionType) Pos() token.Pos  { return t.TokPos }
+func (t *ArrayType) Pos() token.Pos  { return t.TokPos }
+
+func (*NamedType) typeExprNode()  {}
+func (*PrimType) typeExprNode()   {}
+func (*RecordType) typeExprNode() {}
+func (*UnionType) typeExprNode()  {}
+func (*ArrayType) typeExprNode()  {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement inside a process body.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is "{ stmts }".
+type Block struct {
+	TokPos token.Pos
+	Stmts  []Stmt
+}
+
+// VarDecl is "$name [: type] = expr ;". Every ESP variable is initialized
+// at declaration (§4.1); Type may be nil when inferred.
+type VarDecl struct {
+	TokPos token.Pos
+	Name   *Ident
+	Type   TypeExpr
+	Init   Expr
+}
+
+// Assign is "lhs = rhs ;". The left side is either an ordinary lvalue
+// (variable, index, field) or a pattern containing bindings, in which case
+// the statement performs pattern matching (§4.2).
+type Assign struct {
+	TokPos token.Pos
+	LHS    Expr
+	RHS    Expr
+}
+
+// While is "while (cond) { ... }"; "while { ... }" parses with Cond == nil
+// and means while(true).
+type While struct {
+	TokPos token.Pos
+	Cond   Expr
+	Body   *Block
+}
+
+// If is "if (cond) block [else block|if]".
+type If struct {
+	TokPos token.Pos
+	Cond   Expr
+	Then   *Block
+	Else   Stmt // *Block, *If, or nil
+}
+
+// CommDir distinguishes in from out operations.
+type CommDir int
+
+// Communication directions.
+const (
+	Recv CommDir = iota // in(chan, pattern)
+	Send                // out(chan, expr)
+)
+
+func (d CommDir) String() string {
+	if d == Recv {
+		return "in"
+	}
+	return "out"
+}
+
+// Comm is a communication operation "in(chan, pattern)" or
+// "out(chan, expr)", used standalone (as a statement) and inside alt cases.
+type Comm struct {
+	TokPos token.Pos
+	Dir    CommDir
+	Chan   *Ident
+	Arg    Expr // pattern for Recv, value for Send
+}
+
+// AltCase is "case( [guard ,] commop ) block".
+type AltCase struct {
+	TokPos token.Pos
+	Guard  Expr // nil when absent
+	Comm   *Comm
+	Body   *Block
+}
+
+// Alt is "alt { cases }": wait for the first ready communication among the
+// cases whose guard holds (§4.2).
+type Alt struct {
+	TokPos token.Pos
+	Cases  []*AltCase
+}
+
+// Link is "link(expr) ;": increment the reference count (§4.4).
+type Link struct {
+	TokPos token.Pos
+	X      Expr
+}
+
+// Unlink is "unlink(expr) ;": decrement the reference count, freeing at 0.
+type Unlink struct {
+	TokPos token.Pos
+	X      Expr
+}
+
+// Assert is "assert(expr) ;", checked by the verifier and (optionally) the
+// runtime.
+type Assert struct {
+	TokPos token.Pos
+	X      Expr
+}
+
+// Skip is the no-op statement "skip ;".
+type Skip struct {
+	TokPos token.Pos
+}
+
+// BreakStmt is "break ;", terminating the innermost while loop.
+type BreakStmt struct {
+	TokPos token.Pos
+}
+
+func (s *Block) Pos() token.Pos     { return s.TokPos }
+func (s *VarDecl) Pos() token.Pos   { return s.TokPos }
+func (s *Assign) Pos() token.Pos    { return s.TokPos }
+func (s *While) Pos() token.Pos     { return s.TokPos }
+func (s *If) Pos() token.Pos        { return s.TokPos }
+func (s *Comm) Pos() token.Pos      { return s.TokPos }
+func (s *Alt) Pos() token.Pos       { return s.TokPos }
+func (s *Link) Pos() token.Pos      { return s.TokPos }
+func (s *Unlink) Pos() token.Pos    { return s.TokPos }
+func (s *Assert) Pos() token.Pos    { return s.TokPos }
+func (s *Skip) Pos() token.Pos      { return s.TokPos }
+func (s *BreakStmt) Pos() token.Pos { return s.TokPos }
+
+func (*Block) stmtNode()     {}
+func (*VarDecl) stmtNode()   {}
+func (*Assign) stmtNode()    {}
+func (*While) stmtNode()     {}
+func (*If) stmtNode()        {}
+func (*Comm) stmtNode()      {}
+func (*Alt) stmtNode()       {}
+func (*Link) stmtNode()      {}
+func (*Unlink) stmtNode()    {}
+func (*Assert) stmtNode()    {}
+func (*Skip) stmtNode()      {}
+func (*BreakStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Expressions and patterns
+
+// Expr is an expression or pattern node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a use of a name.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	TokPos token.Pos
+	Value  int64
+}
+
+// BoolLit is "true" or "false".
+type BoolLit struct {
+	TokPos token.Pos
+	Value  bool
+}
+
+// Self is "@": the id of the executing process instance (§4.3).
+type Self struct {
+	TokPos token.Pos
+}
+
+// Binding is "$name" inside a pattern: it declares name and binds it to
+// the matched component.
+type Binding struct {
+	TokPos token.Pos
+	Name   *Ident
+}
+
+// Wildcard is "_" inside a pattern: match anything, bind nothing.
+type Wildcard struct {
+	TokPos token.Pos
+}
+
+// Unary is "!x" or "-x".
+type Unary struct {
+	TokPos token.Pos
+	Op     token.Kind
+	X      Expr
+}
+
+// Binary is "x op y".
+type Binary struct {
+	TokPos token.Pos
+	Op     token.Kind
+	X, Y   Expr
+}
+
+// Index is "x[i]".
+type Index struct {
+	TokPos token.Pos
+	X      Expr
+	I      Expr
+}
+
+// FieldSel is "x.f" (record field selection).
+type FieldSel struct {
+	TokPos token.Pos
+	X      Expr
+	Name   *Ident
+}
+
+// RecordLit is "{ e1, e2, ... }". In rvalue position it allocates a
+// record; in lvalue position it is a record pattern (§4.2). Mutable is set
+// by a '#' prefix.
+type RecordLit struct {
+	TokPos  token.Pos
+	Mutable bool
+	Elems   []Expr
+}
+
+// UnionLit is "{ field |> e }": allocation of a union with the given valid
+// field, or a union pattern in lvalue position.
+type UnionLit struct {
+	TokPos  token.Pos
+	Mutable bool
+	Field   *Ident
+	Value   Expr
+}
+
+// ArrayLit is "{ count -> init [, ...] }": allocate an array of count
+// elements, each initialized to init. The optional trailing "..." is
+// cosmetic (the paper writes "#{ TABLE_SIZE -> 0, ... }").
+type ArrayLit struct {
+	TokPos  token.Pos
+	Mutable bool
+	Count   Expr
+	Init    Expr
+}
+
+// Cast is "mutable(e)" or "immutable(e)": semantically a deep copy into an
+// object of the other mutability (§4.2); the compiler elides the copy when
+// the source is dead afterwards.
+type Cast struct {
+	TokPos    token.Pos
+	ToMutable bool
+	X         Expr
+}
+
+func (e *Ident) Pos() token.Pos     { return e.NamePos }
+func (e *IntLit) Pos() token.Pos    { return e.TokPos }
+func (e *BoolLit) Pos() token.Pos   { return e.TokPos }
+func (e *Self) Pos() token.Pos      { return e.TokPos }
+func (e *Binding) Pos() token.Pos   { return e.TokPos }
+func (e *Wildcard) Pos() token.Pos  { return e.TokPos }
+func (e *Unary) Pos() token.Pos     { return e.TokPos }
+func (e *Binary) Pos() token.Pos    { return e.TokPos }
+func (e *Index) Pos() token.Pos     { return e.TokPos }
+func (e *FieldSel) Pos() token.Pos  { return e.TokPos }
+func (e *RecordLit) Pos() token.Pos { return e.TokPos }
+func (e *UnionLit) Pos() token.Pos  { return e.TokPos }
+func (e *ArrayLit) Pos() token.Pos  { return e.TokPos }
+func (e *Cast) Pos() token.Pos      { return e.TokPos }
+
+func (*Ident) exprNode()     {}
+func (*IntLit) exprNode()    {}
+func (*BoolLit) exprNode()   {}
+func (*Self) exprNode()      {}
+func (*Binding) exprNode()   {}
+func (*Wildcard) exprNode()  {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Index) exprNode()     {}
+func (*FieldSel) exprNode()  {}
+func (*RecordLit) exprNode() {}
+func (*UnionLit) exprNode()  {}
+func (*ArrayLit) exprNode()  {}
+func (*Cast) exprNode()      {}
+
+// IsPattern reports whether e contains any Binding, Wildcard, or Self
+// node, i.e. whether an lvalue occurrence of e must be treated as a
+// pattern match rather than a plain assignment target.
+func IsPattern(e Expr) bool {
+	found := false
+	Walk(e, func(n Node) bool {
+		switch n.(type) {
+		case *Binding, *Wildcard:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// Walk traverses the subtree rooted at n in depth-first order, calling f
+// for each node. If f returns false the children of that node are skipped.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Decls {
+			Walk(d, f)
+		}
+	case *TypeDecl:
+		Walk(x.Name, f)
+		Walk(x.Type, f)
+	case *ConstDecl:
+		Walk(x.Name, f)
+	case *ChannelDecl:
+		Walk(x.Name, f)
+		Walk(x.Elem, f)
+	case *InterfaceDecl:
+		Walk(x.Name, f)
+		Walk(x.Chan, f)
+		for _, c := range x.Cases {
+			Walk(c.Name, f)
+			Walk(c.Pattern, f)
+		}
+	case *ProcessDecl:
+		Walk(x.Name, f)
+		Walk(x.Body, f)
+	case *RecordType:
+		for _, fd := range x.Fields {
+			Walk(fd.Name, f)
+			Walk(fd.Type, f)
+		}
+	case *UnionType:
+		for _, fd := range x.Fields {
+			Walk(fd.Name, f)
+			Walk(fd.Type, f)
+		}
+	case *ArrayType:
+		Walk(x.Elem, f)
+	case *Block:
+		for _, s := range x.Stmts {
+			Walk(s, f)
+		}
+	case *VarDecl:
+		Walk(x.Name, f)
+		if x.Type != nil {
+			Walk(x.Type, f)
+		}
+		Walk(x.Init, f)
+	case *Assign:
+		Walk(x.LHS, f)
+		Walk(x.RHS, f)
+	case *While:
+		if x.Cond != nil {
+			Walk(x.Cond, f)
+		}
+		Walk(x.Body, f)
+	case *If:
+		Walk(x.Cond, f)
+		Walk(x.Then, f)
+		if x.Else != nil {
+			Walk(x.Else, f)
+		}
+	case *Comm:
+		Walk(x.Chan, f)
+		Walk(x.Arg, f)
+	case *Alt:
+		for _, c := range x.Cases {
+			if c.Guard != nil {
+				Walk(c.Guard, f)
+			}
+			Walk(c.Comm, f)
+			Walk(c.Body, f)
+		}
+	case *Link:
+		Walk(x.X, f)
+	case *Unlink:
+		Walk(x.X, f)
+	case *Assert:
+		Walk(x.X, f)
+	case *Binding:
+		Walk(x.Name, f)
+	case *Unary:
+		Walk(x.X, f)
+	case *Binary:
+		Walk(x.X, f)
+		Walk(x.Y, f)
+	case *Index:
+		Walk(x.X, f)
+		Walk(x.I, f)
+	case *FieldSel:
+		Walk(x.X, f)
+		Walk(x.Name, f)
+	case *RecordLit:
+		for _, e := range x.Elems {
+			Walk(e, f)
+		}
+	case *UnionLit:
+		Walk(x.Field, f)
+		Walk(x.Value, f)
+	case *ArrayLit:
+		Walk(x.Count, f)
+		Walk(x.Init, f)
+	case *Cast:
+		Walk(x.X, f)
+	}
+}

@@ -1,0 +1,221 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/ast"
+	"esplang/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestWalkVisitsEveryNodeKind(t *testing.T) {
+	prog := mustParse(t, `
+type u = union of { a: int, b: bool }
+type r = record of { x: int }
+const N = 3;
+channel c: u external writer
+channel d: int external reader
+interface i( out c) { A( { a |> $v}) }
+process p {
+    $arr: #array of int = #{ N -> 0};
+    $rec: r = { 9};
+    $k = -1;
+    while (k < N) {
+        if (k == 0) { arr[0] = 1; } else { skip; }
+        alt {
+            case( k > 0, in( c, { a |> $q})) { k = k + q; }
+            case( in( c, { b |> $f})) { if (f) { break; } }
+        }
+        out( d, arr[0] + immutable(arr)[0]);
+    }
+    assert( true);
+    link( arr);
+    unlink( arr);
+    unlink( arr);
+}
+`)
+	kinds := map[string]bool{}
+	ast.Walk(prog, func(n ast.Node) bool {
+		kinds[strings.TrimPrefix(strings.TrimPrefix(nodeName(n), "*ast."), "ast.")] = true
+		return true
+	})
+	for _, want := range []string{
+		"Program", "TypeDecl", "ConstDecl", "ChannelDecl", "InterfaceDecl",
+		"ProcessDecl", "UnionType", "RecordType", "ArrayType", "PrimType",
+		"Block", "VarDecl", "Assign", "While", "If", "Comm", "Alt",
+		"Link", "Unlink", "Assert", "Skip", "BreakStmt",
+		"Ident", "IntLit", "BoolLit", "Binding", "Unary", "Binary",
+		"Index", "ArrayLit", "UnionLit", "RecordLit", "Cast",
+	} {
+		if !kinds[want] {
+			t.Errorf("Walk never visited %s; saw %v", want, kinds)
+		}
+	}
+}
+
+func nodeName(n ast.Node) string {
+	return strings.TrimSpace(strings.SplitN(typeString(n), " ", 2)[0])
+}
+
+func typeString(n ast.Node) string {
+	switch n.(type) {
+	case *ast.Program:
+		return "Program"
+	case *ast.TypeDecl:
+		return "TypeDecl"
+	case *ast.ConstDecl:
+		return "ConstDecl"
+	case *ast.ChannelDecl:
+		return "ChannelDecl"
+	case *ast.InterfaceDecl:
+		return "InterfaceDecl"
+	case *ast.ProcessDecl:
+		return "ProcessDecl"
+	case *ast.UnionType:
+		return "UnionType"
+	case *ast.RecordType:
+		return "RecordType"
+	case *ast.ArrayType:
+		return "ArrayType"
+	case *ast.PrimType:
+		return "PrimType"
+	case *ast.NamedType:
+		return "NamedType"
+	case *ast.Block:
+		return "Block"
+	case *ast.VarDecl:
+		return "VarDecl"
+	case *ast.Assign:
+		return "Assign"
+	case *ast.While:
+		return "While"
+	case *ast.If:
+		return "If"
+	case *ast.Comm:
+		return "Comm"
+	case *ast.Alt:
+		return "Alt"
+	case *ast.Link:
+		return "Link"
+	case *ast.Unlink:
+		return "Unlink"
+	case *ast.Assert:
+		return "Assert"
+	case *ast.Skip:
+		return "Skip"
+	case *ast.BreakStmt:
+		return "BreakStmt"
+	case *ast.Ident:
+		return "Ident"
+	case *ast.IntLit:
+		return "IntLit"
+	case *ast.BoolLit:
+		return "BoolLit"
+	case *ast.Self:
+		return "Self"
+	case *ast.Binding:
+		return "Binding"
+	case *ast.Wildcard:
+		return "Wildcard"
+	case *ast.Unary:
+		return "Unary"
+	case *ast.Binary:
+		return "Binary"
+	case *ast.Index:
+		return "Index"
+	case *ast.FieldSel:
+		return "FieldSel"
+	case *ast.RecordLit:
+		return "RecordLit"
+	case *ast.UnionLit:
+		return "UnionLit"
+	case *ast.ArrayLit:
+		return "ArrayLit"
+	case *ast.Cast:
+		return "Cast"
+	}
+	return "?"
+}
+
+func TestWalkPrune(t *testing.T) {
+	prog := mustParse(t, `
+process p {
+    $x = 1 + 2;
+}
+`)
+	sawBinary := false
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.Binary); ok {
+			sawBinary = true
+		}
+		_, isProc := n.(*ast.ProcessDecl)
+		return !isProc // prune at the process: its body is skipped
+	})
+	if sawBinary {
+		t.Error("Walk descended past a pruned node")
+	}
+}
+
+func TestIsPattern(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"$x", true},
+		{"_", true},
+		{"{ $a, 2}", true},
+		{"{ send |> { $a}}", true},
+		{"{ 1, 2}", false},
+		{"x + 1", false},
+		{"a[i]", false},
+		{"@", false}, // @ alone is an expression; only $/_ force pattern-hood
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got := ast.IsPattern(e); got != c.want {
+			t.Errorf("IsPattern(%q) = %t, want %t", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintStmtAndType(t *testing.T) {
+	prog := mustParse(t, `
+type r = record of { a: int, b: bool }
+process p {
+    $x: r = { 1, true};
+    if (x.a > 0) { skip; } else { assert( x.b); }
+}
+`)
+	td := prog.Decls[0].(*ast.TypeDecl)
+	if got := ast.PrintType(td.Type); got != "record of { a: int, b: bool }" {
+		t.Errorf("PrintType = %q", got)
+	}
+	pd := prog.Decls[1].(*ast.ProcessDecl)
+	out := ast.PrintStmt(pd.Body.Stmts[1])
+	if !strings.Contains(out, "if (x.a > 0)") || !strings.Contains(out, "else") {
+		t.Errorf("PrintStmt = %q", out)
+	}
+}
+
+func TestExtDirString(t *testing.T) {
+	if ast.ExtReader.String() != "external reader" ||
+		ast.ExtWriter.String() != "external writer" ||
+		ast.ExtNone.String() != "internal" {
+		t.Error("ExtDir strings wrong")
+	}
+	if ast.Recv.String() != "in" || ast.Send.String() != "out" {
+		t.Error("CommDir strings wrong")
+	}
+}

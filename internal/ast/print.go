@@ -1,0 +1,396 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"esplang/internal/token"
+)
+
+// Print renders the program back to ESP source text. The output is
+// canonical (normalized whitespace, one statement per line) and reparses
+// to an equivalent tree, which the tests rely on.
+func Print(p *Program) string {
+	var pr printer
+	for i, d := range p.Decls {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.decl(d)
+	}
+	return pr.b.String()
+}
+
+// PrintExpr renders a single expression or pattern.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e)
+	return pr.b.String()
+}
+
+// PrintType renders a type expression.
+func PrintType(t TypeExpr) string {
+	var pr printer
+	pr.typeExpr(t)
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement at indent 0.
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return strings.TrimRight(pr.b.String(), "\n")
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) w(format string, args ...any) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) tab() {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("    ")
+	}
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.tab()
+	p.w(format, args...)
+	p.nl()
+}
+
+func (p *printer) decl(d Decl) {
+	switch x := d.(type) {
+	case *TypeDecl:
+		p.tab()
+		p.w("type %s = ", x.Name.Name)
+		p.typeExpr(x.Type)
+		p.nl()
+	case *ConstDecl:
+		p.line("const %s = %d;", x.Name.Name, x.Value)
+	case *ChannelDecl:
+		p.tab()
+		p.w("channel %s: ", x.Name.Name)
+		p.typeExpr(x.Elem)
+		switch x.Ext {
+		case ExtReader:
+			p.w(" external reader")
+		case ExtWriter:
+			p.w(" external writer")
+		}
+		p.nl()
+	case *InterfaceDecl:
+		p.tab()
+		dir := "in"
+		if x.Dir == token.OUT {
+			dir = "out"
+		}
+		p.w("interface %s( %s %s) {", x.Name.Name, dir, x.Chan.Name)
+		p.nl()
+		p.indent++
+		for i, c := range x.Cases {
+			p.tab()
+			p.w("%s( ", c.Name.Name)
+			p.expr(c.Pattern)
+			p.w(")")
+			if i < len(x.Cases)-1 {
+				p.w(",")
+			}
+			p.nl()
+		}
+		p.indent--
+		p.line("}")
+	case *ProcessDecl:
+		p.line("process %s {", x.Name.Name)
+		p.indent++
+		for _, s := range x.Body.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+func (p *printer) typeExpr(t TypeExpr) {
+	switch x := t.(type) {
+	case *NamedType:
+		p.w("%s", x.Name)
+	case *PrimType:
+		if x.Kind == token.INTTYPE {
+			p.w("int")
+		} else {
+			p.w("bool")
+		}
+	case *RecordType:
+		if x.Mutable {
+			p.w("#")
+		}
+		p.w("record of { ")
+		p.fields(x.Fields)
+		p.w("}")
+	case *UnionType:
+		if x.Mutable {
+			p.w("#")
+		}
+		p.w("union of { ")
+		p.fields(x.Fields)
+		p.w("}")
+	case *ArrayType:
+		if x.Mutable {
+			p.w("#")
+		}
+		p.w("array of ")
+		p.typeExpr(x.Elem)
+		if x.Bound > 0 {
+			p.w("[%d]", x.Bound)
+		}
+	}
+}
+
+func (p *printer) fields(fs []FieldDef) {
+	for i, f := range fs {
+		if i > 0 {
+			p.w(", ")
+		}
+		p.w("%s: ", f.Name.Name)
+		p.typeExpr(f.Type)
+	}
+	p.w(" ")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, st := range x.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDecl:
+		p.tab()
+		p.w("$%s", x.Name.Name)
+		if x.Type != nil {
+			p.w(": ")
+			p.typeExpr(x.Type)
+		}
+		p.w(" = ")
+		p.expr(x.Init)
+		p.w(";")
+		p.nl()
+	case *Assign:
+		p.tab()
+		p.expr(x.LHS)
+		p.w(" = ")
+		p.expr(x.RHS)
+		p.w(";")
+		p.nl()
+	case *While:
+		p.tab()
+		if x.Cond != nil {
+			p.w("while (")
+			p.expr(x.Cond)
+			p.w(") {")
+		} else {
+			p.w("while {")
+		}
+		p.nl()
+		p.indent++
+		for _, st := range x.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *If:
+		p.tab()
+		p.ifChain(x)
+		p.nl()
+	case *Comm:
+		p.tab()
+		p.comm(x)
+		p.w(";")
+		p.nl()
+	case *Alt:
+		p.line("alt {")
+		p.indent++
+		for _, c := range x.Cases {
+			p.tab()
+			p.w("case( ")
+			if c.Guard != nil {
+				p.expr(c.Guard)
+				p.w(", ")
+			}
+			p.comm(c.Comm)
+			p.w(") {")
+			p.nl()
+			p.indent++
+			for _, st := range c.Body.Stmts {
+				p.stmt(st)
+			}
+			p.indent--
+			p.line("}")
+		}
+		p.indent--
+		p.line("}")
+	case *Link:
+		p.tab()
+		p.w("link( ")
+		p.expr(x.X)
+		p.w(");")
+		p.nl()
+	case *Unlink:
+		p.tab()
+		p.w("unlink( ")
+		p.expr(x.X)
+		p.w(");")
+		p.nl()
+	case *Assert:
+		p.tab()
+		p.w("assert( ")
+		p.expr(x.X)
+		p.w(");")
+		p.nl()
+	case *Skip:
+		p.line("skip;")
+	case *BreakStmt:
+		p.line("break;")
+	}
+}
+
+// ifChain prints an if statement, flattening else-if chains, without the
+// trailing newline (the caller adds it).
+func (p *printer) ifChain(x *If) {
+	p.w("if (")
+	p.expr(x.Cond)
+	p.w(") {")
+	p.nl()
+	p.indent++
+	for _, st := range x.Then.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	p.tab()
+	p.w("}")
+	switch e := x.Else.(type) {
+	case nil:
+	case *If:
+		p.w(" else ")
+		p.ifChain(e)
+	case *Block:
+		p.w(" else {")
+		p.nl()
+		p.indent++
+		for _, st := range e.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.tab()
+		p.w("}")
+	}
+}
+
+func (p *printer) comm(c *Comm) {
+	p.w("%s( %s, ", c.Dir, c.Chan.Name)
+	p.expr(c.Arg)
+	p.w(")")
+}
+
+// exprPrec mirrors parser precedence so the printer can parenthesize
+// minimally but correctly.
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		return x.Op.Precedence()
+	case *Unary:
+		return 6
+	}
+	return 7 // primary
+}
+
+func (p *printer) expr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		p.w("%s", x.Name)
+	case *IntLit:
+		p.w("%d", x.Value)
+	case *BoolLit:
+		p.w("%t", x.Value)
+	case *Self:
+		p.w("@")
+	case *Binding:
+		p.w("$%s", x.Name.Name)
+	case *Wildcard:
+		p.w("_")
+	case *Unary:
+		p.w("%s", x.Op)
+		p.exprParen(x.X, 6)
+	case *Binary:
+		prec := x.Op.Precedence()
+		p.exprParen(x.X, prec)
+		p.w(" %s ", x.Op)
+		p.exprParen(x.Y, prec+1)
+	case *Index:
+		p.exprParen(x.X, 7)
+		p.w("[")
+		p.expr(x.I)
+		p.w("]")
+	case *FieldSel:
+		p.exprParen(x.X, 7)
+		p.w(".%s", x.Name.Name)
+	case *RecordLit:
+		if x.Mutable {
+			p.w("#")
+		}
+		p.w("{ ")
+		for i, el := range x.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(el)
+		}
+		p.w("}")
+	case *UnionLit:
+		if x.Mutable {
+			p.w("#")
+		}
+		p.w("{ %s |> ", x.Field.Name)
+		p.expr(x.Value)
+		p.w("}")
+	case *ArrayLit:
+		if x.Mutable {
+			p.w("#")
+		}
+		p.w("{ ")
+		p.expr(x.Count)
+		p.w(" -> ")
+		p.expr(x.Init)
+		p.w("}")
+	case *Cast:
+		if x.ToMutable {
+			p.w("mutable(")
+		} else {
+			p.w("immutable(")
+		}
+		p.expr(x.X)
+		p.w(")")
+	}
+}
+
+func (p *printer) exprParen(e Expr, minPrec int) {
+	if exprPrec(e) < minPrec {
+		p.w("(")
+		p.expr(e)
+		p.w(")")
+		return
+	}
+	p.expr(e)
+}

@@ -1,0 +1,490 @@
+package cbackend
+
+import (
+	"fmt"
+	"strings"
+
+	"esplang/internal/ir"
+	"esplang/internal/types"
+)
+
+// emitBuilders generates, for every external-writer interface case, the
+// function that calls the programmer's per-case extern function and
+// assembles the message value (the runtime half of §4.5: "by specifying
+// the entire pattern ... there is no need for that function to allocate
+// any ESP data structure").
+func (g *cgen) emitBuilders() {
+	for _, ch := range g.prog.Channels {
+		if ch.Ext != ir.ExtWriter || len(ch.Cases) == 0 {
+			continue
+		}
+		for ci, c := range ch.Cases {
+			g.w("static esp_val esp_build_%s_%d(void) { /* %s.%s */", ch.Name, ci, ch.IfaceName, c.Name)
+			// Declare parameter holders and call the extern function.
+			var args []string
+			for pi, pt := range c.ParamTypes {
+				if pt.IsScalar() {
+					g.w("    int32_t p%d = 0;", pi)
+				} else {
+					g.w("    esp_val p%d = 0;", pi)
+				}
+				args = append(args, fmt.Sprintf("&p%d", pi))
+			}
+			g.w("    %s%s(%s);", ch.IfaceName, c.Name, strings.Join(args, ", "))
+			tmp := 0
+			expr := g.buildExpr(c.Pat, ch.Elem, &tmp)
+			g.w("    return %s;", expr)
+			g.w("}")
+		}
+	}
+	g.w("")
+}
+
+// buildExpr emits statements allocating the wrappers of an interface-case
+// pattern and returns the C expression of the built value. Fresh children
+// are absorbed (no link): the external code hands over its allocation
+// reference, exactly like an ESP literal.
+func (g *cgen) buildExpr(p *ir.Pat, t *types.Type, tmp *int) string {
+	switch p.Kind {
+	case ir.PatBind:
+		return fmt.Sprintf("p%d", p.Slot)
+	case ir.PatConst:
+		return fmt.Sprintf("%d", p.Val)
+	case ir.PatAny:
+		return "0"
+	case ir.PatRecord:
+		name := fmt.Sprintf("b%d", *tmp)
+		*tmp++
+		g.w("    esp_val %s = esp_alloc(%d, 0, %d);", name, t.ID(), len(p.Elems))
+		for i, sub := range p.Elems {
+			e := g.buildExpr(sub, t.Fields[i].Type, tmp)
+			g.w("    esp_heap[%s].elems[%d] = %s;", name, i, e)
+		}
+		return name
+	case ir.PatUnion:
+		name := fmt.Sprintf("b%d", *tmp)
+		*tmp++
+		inner := g.buildExpr(p.Elems[0], t.Fields[p.Tag].Type, tmp)
+		g.w("    esp_val %s = esp_alloc(%d, %d, 1);", name, t.ID(), p.Tag)
+		g.w("    esp_heap[%s].elems[0] = %s;", name, inner)
+		return name
+	}
+	return "0"
+}
+
+// emitExtPut generates, for every external-reader channel, the function
+// completing a blocked send: it dispatches the outgoing value to the
+// matching interface case and calls the programmer's function with the
+// extracted components (§4.5: "all the parameters have one less level of
+// indirection").
+func (g *cgen) emitExtPut() {
+	for _, ch := range g.prog.Channels {
+		if ch.Ext != ir.ExtReader {
+			continue
+		}
+		g.w("static int esp_extput_%s(int spid) {", ch.Name)
+		g.w("    esp_val v = *PV[spid].pending;")
+		g.w("    (void)v;")
+		if len(ch.Cases) == 0 {
+			g.w("    if (!esp_ext_%s_accept()) return 0;", ch.Name)
+			g.w("    esp_ext_%s_put(v);", ch.Name)
+		} else {
+			g.w("    if (!%sIsReady()) return 0;", ch.IfaceName)
+			for ci, c := range ch.Cases {
+				match := g.cPatMatch(c.Pat, "v", &ir.Proc{ID: -1})
+				var paths []string
+				collectParamPaths(c.Pat, "v", &paths)
+				g.w("    if (%s) { %s%s(%s); goto done; }",
+					match, ch.IfaceName, c.Name, strings.Join(paths, ", "))
+				_ = ci
+			}
+			g.w("    esp_fail(\"value on channel %s matches no interface case\");", ch.Name)
+			g.w("done:;")
+		}
+		g.w("    if ((*PV[spid].pflags & 1) && esp_chan_isref[*PV[spid].wait_chan]) esp_unlink(v);")
+		g.w("    return 1;")
+		g.w("}")
+	}
+	g.w("")
+}
+
+// collectParamPaths walks an interface pattern and records the C access
+// path of every bound parameter, in parameter order.
+func collectParamPaths(p *ir.Pat, path string, out *[]string) {
+	switch p.Kind {
+	case ir.PatBind:
+		for len(*out) <= p.Slot {
+			*out = append(*out, "0")
+		}
+		(*out)[p.Slot] = path
+	case ir.PatRecord:
+		for i, sub := range p.Elems {
+			collectParamPaths(sub, fmt.Sprintf("esp_deref(%s)->elems[%d]", path, i), out)
+		}
+	case ir.PatUnion:
+		collectParamPaths(p.Elems[0], fmt.Sprintf("esp_deref(%s)->elems[0]", path), out)
+	}
+}
+
+// emitPoll generates the idle-loop polling function (§6.1: "the generated
+// code has an idle loop that polls for messages on external channels").
+func (g *cgen) emitPoll() {
+	g.w("static int esp_inject(int chan, esp_val v) {")
+	g.w("    int r, a;")
+	g.w("    for (r = 0; r < ESP_NPROCS; r++) {")
+	g.w("        if (!(esp_waitmask[r] & (1ull << chan))) continue;")
+	g.w("        if (*PV[r].status == ESP_BLOCKED_RECV && *PV[r].wait_chan == chan) {")
+	g.w("            if (esp_deliver(v, 1, r, *PV[r].wait_port, esp_chan_isref[chan])) {")
+	g.w("                *PV[r].pc = *PV[r].resume_pc;")
+	g.w("                esp_make_ready(r);")
+	g.w("                return 1;")
+	g.w("            }")
+	g.w("        } else if (*PV[r].status == ESP_BLOCKED_ALT) {")
+	g.w("            const esp_alt_t *alt = &esp_alts[r][*PV[r].alt_idx];")
+	g.w("            for (a = 0; a < alt->narms; a++) {")
+	g.w("                const esp_arm_t *arm = &alt->arms[a];")
+	g.w("                if (arm->is_send || arm->chan != chan || !esp_guard_true(r, arm)) continue;")
+	g.w("                if (esp_deliver(v, 1, r, arm->port, esp_chan_isref[chan])) {")
+	g.w("                    *PV[r].pc = arm->body_pc;")
+	g.w("                    esp_make_ready(r);")
+	g.w("                    return 1;")
+	g.w("                }")
+	g.w("            }")
+	g.w("        }")
+	g.w("    }")
+	g.w("    return 0;")
+	g.w("}")
+	g.w("")
+	g.w("static int esp_recv_waiting(int chan) {")
+	g.w("    int r;")
+	g.w("    for (r = 0; r < ESP_NPROCS; r++) {")
+	g.w("        if (!(esp_waitmask[r] & (1ull << chan))) continue;")
+	g.w("        if (*PV[r].status == ESP_BLOCKED_RECV || *PV[r].status == ESP_BLOCKED_ALT) return 1;")
+	g.w("    }")
+	g.w("    return 0;")
+	g.w("}")
+	g.w("")
+	g.w("static int esp_poll(void) {")
+	g.w("    int moved = 0;")
+	g.w("    int s, a;")
+	g.w("    (void)s; (void)a;")
+	for _, ch := range g.prog.Channels {
+		switch ch.Ext {
+		case ir.ExtWriter:
+			g.w("    /* external writer channel %s */", ch.Name)
+			g.w("    if (esp_recv_waiting(%d)) {", ch.ID)
+			if len(ch.Cases) > 0 {
+				g.w("        int c = %sIsReady();", ch.IfaceName)
+				for ci := range ch.Cases {
+					g.w("        if (c == %d) {", ci+1)
+					g.w("            esp_val v = esp_build_%s_%d();", ch.Name, ci)
+					g.w("            if (!esp_inject(%d, v)) esp_fail(\"message on %s matches no waiting receiver\");", ch.ID, ch.Name)
+					g.w("            moved = 1;")
+					g.w("        }")
+				}
+			} else {
+				g.w("        if (esp_ext_%s_ready()) {", ch.Name)
+				g.w("            esp_val v = esp_ext_%s_take();", ch.Name)
+				g.w("            if (!esp_inject(%d, v)) esp_fail(\"message on %s matches no waiting receiver\");", ch.ID, ch.Name)
+				g.w("            moved = 1;")
+				g.w("        }")
+			}
+			g.w("    }")
+		case ir.ExtReader:
+			g.w("    /* external reader channel %s: complete blocked senders */", ch.Name)
+			g.w("    for (s = 0; s < ESP_NPROCS; s++) {")
+			g.w("        if (!(esp_waitmask[s] & (1ull << %d))) continue;", ch.ID)
+			g.w("        if (*PV[s].status == ESP_BLOCKED_SEND && *PV[s].wait_chan == %d) {", ch.ID)
+			g.w("            if (esp_extput_%s(s)) {", ch.Name)
+			g.w("                *PV[s].pc = *PV[s].resume_pc;")
+			g.w("                esp_make_ready(s);")
+			g.w("                moved = 1;")
+			g.w("            }")
+			g.w("        } else if (*PV[s].status == ESP_BLOCKED_ALT) {")
+			g.w("            const esp_alt_t *alt = &esp_alts[s][*PV[s].alt_idx];")
+			g.w("            for (a = 0; a < alt->narms; a++) {")
+			g.w("                const esp_arm_t *arm = &alt->arms[a];")
+			g.w("                if (!arm->is_send || arm->chan != %d || !esp_guard_true(s, arm)) continue;", ch.ID)
+			if len(ch.Cases) > 0 {
+				g.w("                if (!%sIsReady()) continue;", ch.IfaceName)
+			} else {
+				g.w("                if (!esp_ext_%s_accept()) continue;", ch.Name)
+			}
+			g.w("                *PV[s].pc = arm->eval_pc;")
+			g.w("                esp_make_ready(s);")
+			g.w("                moved = 1;")
+			g.w("                break;")
+			g.w("            }")
+			g.w("        }")
+			g.w("    }")
+		}
+	}
+	g.w("    return moved;")
+	g.w("}")
+	g.w("")
+}
+
+// armedMask returns the C expression of the wait bit-mask for an alt's
+// statically known arms (guards folded in at run time).
+func armedMaskExpr(alt *ir.AltDef, pid int) string {
+	var parts []string
+	for ai := range alt.Arms {
+		arm := &alt.Arms[ai]
+		bit := fmt.Sprintf("(1ull << %d)", arm.Chan)
+		if arm.GuardSlot >= 0 {
+			bit = fmt.Sprintf("(P%d.loc[%d] ? (1ull << %d) : 0u)", pid, arm.GuardSlot, arm.Chan)
+		}
+		parts = append(parts, bit)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// mainLoop emits esp_run: the one big function of §6.1.
+func (g *cgen) mainLoop() {
+	g.emitBuilders()
+	g.emitExtPut()
+	g.emitPoll()
+
+	g.w("/* ---- the one big function (§6.1): all process code, the")
+	g.w(" * scheduler, and the idle loop ---- */")
+	g.w("void esp_run(void) {")
+	g.w("    int pid, sp = 0, a;")
+	g.w("    (void)a;")
+	g.w("    (void)esp_alt_send_ready; (void)esp_chan_ext; (void)esp_recv_waiting;")
+	g.w("    (void)esp_inject; (void)esp_try_recv; (void)esp_try_send;")
+	g.w("    esp_init_views();")
+	g.w("    for (pid = ESP_NPROCS - 1; pid >= 0; pid--) esp_make_ready(pid);")
+	g.w("")
+	g.w("esp_sched:")
+	g.w("    while (esp_nready > 0) {")
+	g.w("        pid = esp_ready_stack[--esp_nready];")
+	g.w("        if (*PV[pid].status != ESP_READY) continue;")
+	g.w("        sp = 0;")
+	g.w("        switch (pid) {")
+	for _, p := range g.prog.Procs {
+		g.w("        case %d: goto P%d_resume;", p.ID, p.ID)
+	}
+	g.w("        }")
+	g.w("    }")
+	g.w("    if (esp_poll()) goto esp_sched;")
+	g.w("    return; /* idle: all processes blocked, no external input */")
+	g.w("")
+	for _, p := range g.prog.Procs {
+		g.emitProcCode(p)
+	}
+	g.w("}")
+	g.w("")
+}
+
+func (g *cgen) emitProcCode(p *ir.Proc) {
+	g.w("/* ======== process %s ======== */", p.Name)
+	g.w("P%d_resume:", p.ID)
+	g.w("    switch (P%d.pc) {", p.ID)
+	g.w("    case 0: goto P%d_I0;", p.ID)
+	// Emit resume cases for every pc that can be a resumption target:
+	// resume_pc of blocking ops, arm body/eval pcs, and jump targets are
+	// all direct labels; the resume switch needs every pc that is stored
+	// into .pc. Emitting all pcs is simplest and correct.
+	for pc := 1; pc < len(p.Code); pc++ {
+		g.w("    case %d: goto P%d_I%d;", pc, p.ID, pc)
+	}
+	g.w("    }")
+	g.w("    esp_fail(\"bad pc\");")
+
+	for pc, in := range p.Code {
+		g.w("P%d_I%d: /* %s */", p.ID, pc, ir.FormatInstr(p, in))
+		g.instr(p, pc, in)
+	}
+	g.w("")
+}
+
+func (g *cgen) instr(p *ir.Proc, pc int, in ir.Instr) {
+	id := p.ID
+	st := func(off int) string { return fmt.Sprintf("P%d.st[sp%+d]", id, off) }
+	next := fmt.Sprintf("goto P%d_I%d;", id, pc+1)
+
+	switch in.Op {
+	case ir.Nop:
+		g.w("    %s", next)
+	case ir.Const:
+		g.w("    P%d.st[sp++] = %d; %s", id, in.Val, next)
+	case ir.SelfID:
+		g.w("    P%d.st[sp++] = %d; %s", id, id, next)
+	case ir.LoadLocal:
+		g.w("    P%d.st[sp++] = P%d.loc[%d]; %s", id, id, in.A, next)
+	case ir.StoreLocal:
+		g.w("    P%d.loc[%d] = P%d.st[--sp]; %s", id, in.A, id, next)
+	case ir.Dup:
+		g.w("    P%d.st[sp] = P%d.st[sp-1]; sp++; %s", id, id, next)
+	case ir.Pop:
+		g.w("    sp--; %s", next)
+
+	case ir.Neg:
+		g.w("    %s = -%s; %s", st(-1), st(-1), next)
+	case ir.Not:
+		g.w("    %s = !%s; %s", st(-1), st(-1), next)
+	case ir.Add, ir.Sub, ir.Mul, ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		op := map[ir.Op]string{ir.Add: "+", ir.Sub: "-", ir.Mul: "*",
+			ir.Eq: "==", ir.Ne: "!=", ir.Lt: "<", ir.Le: "<=", ir.Gt: ">", ir.Ge: ">="}[in.Op]
+		g.w("    sp--; %s = %s %s %s; %s", st(-1), st(-1), op, st(0), next)
+	case ir.Div, ir.Mod:
+		op := "/"
+		if in.Op == ir.Mod {
+			op = "%"
+		}
+		g.w("    if (%s == 0) esp_fail(\"division by zero\");", st(-1))
+		g.w("    sp--; %s = %s %s %s; %s", st(-1), st(-1), op, st(0), next)
+
+	case ir.Jump:
+		g.w("    goto P%d_I%d;", id, in.A)
+	case ir.JumpIfFalse:
+		g.w("    if (!P%d.st[--sp]) goto P%d_I%d;", id, id, in.A)
+		g.w("    %s", next)
+	case ir.JumpIfTrue:
+		g.w("    if (P%d.st[--sp]) goto P%d_I%d;", id, id, in.A)
+		g.w("    %s", next)
+
+	case ir.NewRecord:
+		t := g.prog.Universe.ByID(in.A)
+		g.w("    { esp_val h = esp_alloc(%d, 0, %d);", in.A, in.B)
+		for i := in.B - 1; i >= 0; i-- {
+			g.w("      esp_heap[h].elems[%d] = P%d.st[--sp];", i, id)
+			if t.Fields[i].Type.IsRef() && in.Val&(1<<i) == 0 {
+				g.w("      if (esp_heap[h].elems[%d]) esp_link(esp_heap[h].elems[%d]); /* borrowed child */", i, i)
+			}
+		}
+		g.w("      P%d.st[sp++] = h; } %s", id, next)
+	case ir.NewUnion:
+		t := g.prog.Universe.ByID(in.A)
+		g.w("    { esp_val h = esp_alloc(%d, %d, 1);", in.A, in.B)
+		g.w("      esp_heap[h].elems[0] = P%d.st[--sp];", id)
+		if t.Fields[in.B].Type.IsRef() && in.Val&1 == 0 {
+			g.w("      if (esp_heap[h].elems[0]) esp_link(esp_heap[h].elems[0]);")
+		}
+		g.w("      P%d.st[sp++] = h; } %s", id, next)
+	case ir.NewArray:
+		g.w("    { esp_val init = P%d.st[--sp]; int n = P%d.st[--sp]; int i;", id, id)
+		g.w("      esp_val h = esp_alloc(%d, 0, n);", in.A)
+		g.w("      for (i = 0; i < n; i++) esp_heap[h].elems[i] = init;")
+		g.w("      P%d.st[sp++] = h; } %s", id, next)
+
+	case ir.GetField:
+		g.w("    %s = esp_deref(%s)->elems[%d]; %s", st(-1), st(-1), in.A, next)
+	case ir.SetField:
+		g.w("    { esp_val v = P%d.st[--sp]; esp_obj_t *o = esp_deref(P%d.st[--sp]);", id, id)
+		g.w("      esp_val old = o->elems[%d]; o->elems[%d] = v;", in.A, in.A)
+		g.w("      if (esp_ref_mask[o->type] & (1ull << %d)) {", in.A)
+		g.w("          if (v) esp_link(v);")
+		g.w("          if (old) esp_unlink(old);")
+		g.w("      } } %s", next)
+	case ir.GetIndex:
+		g.w("    { int i = P%d.st[--sp]; esp_obj_t *o = esp_deref(%s);", id, st(-1))
+		g.w("      if (i < 0 || i >= o->n) esp_fail(\"array index out of bounds\");")
+		g.w("      %s = o->elems[i]; } %s", st(-1), next)
+	case ir.SetIndex:
+		g.w("    { esp_val v = P%d.st[--sp]; int i = P%d.st[--sp]; esp_obj_t *o = esp_deref(P%d.st[--sp]);", id, id, id)
+		g.w("      if (i < 0 || i >= o->n) esp_fail(\"array index out of bounds\");")
+		g.w("      o->elems[i] = v; } %s", next)
+	case ir.UnionGet:
+		g.w("    { esp_obj_t *o = esp_deref(%s);", st(-1))
+		g.w("      if (o->tag != %d) esp_fail(\"union tag mismatch\");", in.A)
+		g.w("      %s = o->elems[0]; } %s", st(-1), next)
+
+	case ir.Link:
+		g.w("    esp_link(P%d.st[--sp]); %s", id, next)
+	case ir.Unlink:
+		g.w("    esp_unlink(P%d.st[--sp]); %s", id, next)
+	case ir.CastCopy:
+		g.w("    { esp_obj_t *o = esp_deref(%s); int i;", st(-1))
+		g.w("      esp_val h = esp_alloc(%d, o->tag, o->n);", in.A)
+		g.w("      for (i = 0; i < o->n; i++) {")
+		g.w("          esp_heap[h].elems[i] = o->elems[i];")
+		g.w("          if ((esp_ref_mask[%d] & (1ull << i)) && o->elems[i]) esp_link(o->elems[i]);", in.A)
+		g.w("      }")
+		g.w("      %s = h; } %s", st(-1), next)
+	case ir.CastReuse:
+		g.w("    esp_deref(%s)->type = %d; %s", st(-1), in.A, next)
+
+	case ir.Assert:
+		info := g.prog.Asserts[in.A]
+		g.w("    if (!P%d.st[--sp]) esp_fail(\"assert(%s) failed at %s\"); %s",
+			id, cstr(info.Expr), info.Pos, next)
+	case ir.Halt:
+		g.w("    P%d.status = ESP_HALTED; goto esp_sched;", id)
+
+	case ir.Send, ir.SendCommit:
+		g.w("    P%d.pending = P%d.st[--sp]; P%d.pflags = %d;", id, id, id, in.B)
+		g.w("    P%d.wait_chan = %d; P%d.resume_pc = %d;", id, in.A, id, pc+1)
+		g.w("    if (esp_try_send(%d)) goto P%d_I%d;", id, id, pc+1)
+		if g.prog.Channels[in.A].Ext == ir.ExtReader {
+			g.w("    if (esp_extput_%s(%d)) goto P%d_I%d;", g.prog.Channels[in.A].Name, id, id, pc+1)
+		}
+		if in.Op == ir.SendCommit {
+			g.w("    esp_fail(\"committed send on %s matches no receiver\");", g.prog.Channels[in.A].Name)
+		} else {
+			g.w("    P%d.status = ESP_BLOCKED_SEND; P%d.pc = %d;", id, id, pc)
+			g.w("    esp_waitmask[%d] = 1ull << %d;", id, in.A)
+			g.w("    goto esp_sched;")
+		}
+	case ir.Recv:
+		g.w("    P%d.wait_chan = %d; P%d.wait_port = %d; P%d.resume_pc = %d;", id, in.A, id, in.B, id, pc+1)
+		g.w("    if (esp_try_recv(%d) == 1) goto P%d_I%d;", id, id, pc+1)
+		g.w("    P%d.status = ESP_BLOCKED_RECV; P%d.pc = %d;", id, id, pc)
+		g.w("    esp_waitmask[%d] = 1ull << %d;", id, in.A)
+		g.w("    goto esp_sched;")
+	case ir.Alt:
+		alt := &p.Alts[in.A]
+		g.w("    P%d.alt_idx = %d;", id, in.A)
+		for ai := range alt.Arms {
+			arm := &alt.Arms[ai]
+			guard := ""
+			if arm.GuardSlot >= 0 {
+				guard = fmt.Sprintf("if (P%d.loc[%d]) ", id, arm.GuardSlot)
+			}
+			if arm.IsSend {
+				cond := fmt.Sprintf("esp_alt_send_ready(%d, &esp_arms_P%d_%d[%d])", id, id, in.A, ai)
+				ch := g.prog.Channels[arm.Chan]
+				if ch.Ext == ir.ExtReader {
+					if len(ch.Cases) > 0 {
+						cond += fmt.Sprintf(" || %sIsReady()", ch.IfaceName)
+					} else {
+						cond += fmt.Sprintf(" || esp_ext_%s_accept()", ch.Name)
+					}
+				}
+				g.w("    %s{ if (%s) { P%d.pc = %d; goto P%d_resume; } }", guard, cond, id, arm.EvalPC, id)
+			} else {
+				g.w("    %s{", guard)
+				g.w("        P%d.wait_chan = %d; P%d.wait_port = %d; P%d.resume_pc = %d;",
+					id, arm.Chan, id, arm.Port, id, arm.BodyPC)
+				g.w("        int tr = esp_try_recv(%d);", id)
+				g.w("        if (tr == 1) { P%d.pc = %d; goto P%d_resume; }", id, arm.BodyPC, id)
+				g.w("        if (tr == 2) { /* partner committed: collapse to blocked recv */")
+				g.w("            P%d.status = ESP_BLOCKED_RECV; P%d.pc = %d;", id, id, pc)
+				g.w("            esp_waitmask[%d] = 1ull << %d;", id, arm.Chan)
+				g.w("            goto esp_sched;")
+				g.w("        }")
+				g.w("    }")
+			}
+		}
+		g.w("    P%d.status = ESP_BLOCKED_ALT; P%d.pc = %d;", id, id, pc)
+		g.w("    esp_waitmask[%d] = %s;", id, armedMaskExpr(alt, id))
+		g.w("    goto esp_sched;")
+	default:
+		g.w("    esp_fail(\"bad opcode\");")
+	}
+}
+
+func cstr(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}
+
+func (g *cgen) mainStub() {
+	g.w("#ifdef ESP_MAIN")
+	g.w("int main(void) {")
+	g.w("    esp_run();")
+	g.w("    return 0;")
+	g.w("}")
+	g.w("#endif")
+}

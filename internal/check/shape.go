@@ -1,0 +1,216 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"esplang/internal/types"
+)
+
+// ShapeKind classifies one node of a pattern's dispatch shape.
+type ShapeKind int
+
+// Shape node kinds.
+const (
+	ShapeAny    ShapeKind = iota // $binding or _
+	ShapeConst                   // integer or boolean literal (bool encoded 0/1)
+	ShapeSelf                    // @ — a compile-time constant per process instance
+	ShapeDyn                     // equality test against a runtime variable
+	ShapeRecord                  // positional subpatterns
+	ShapeUnion                   // tag + one subpattern
+)
+
+// Shape is the dispatch skeleton of a receive pattern: everything the
+// channel needs to route a message to the right port (§4.2). Bindings are
+// erased to Any; the compiler re-attaches binding slots separately.
+type Shape struct {
+	Kind   ShapeKind
+	Int    int64    // ShapeConst value
+	ProcID int      // ShapeSelf: the receiving process id
+	Tag    int      // ShapeUnion: field index
+	Elems  []*Shape // ShapeRecord children; ShapeUnion has exactly one
+}
+
+// HasDynamicTest reports whether the shape contains a scalar test —
+// a runtime-variable equality test, a literal, or @ — which makes static
+// exhaustiveness undecidable (the paper's ret-field convention relies on
+// this: the verifier catches stuck sends as deadlock instead).
+func (s *Shape) HasDynamicTest() bool {
+	switch s.Kind {
+	case ShapeDyn, ShapeSelf, ShapeConst:
+		return true
+	case ShapeRecord, ShapeUnion:
+		for _, e := range s.Elems {
+			if e.HasDynamicTest() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the shape for diagnostics.
+func (s *Shape) String() string {
+	var b strings.Builder
+	s.str(&b)
+	return b.String()
+}
+
+func (s *Shape) str(b *strings.Builder) {
+	switch s.Kind {
+	case ShapeAny:
+		b.WriteByte('_')
+	case ShapeConst:
+		fmt.Fprintf(b, "%d", s.Int)
+	case ShapeSelf:
+		fmt.Fprintf(b, "@%d", s.ProcID)
+	case ShapeDyn:
+		b.WriteString("<dyn>")
+	case ShapeRecord:
+		b.WriteString("{ ")
+		for i, e := range s.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.str(b)
+		}
+		b.WriteString(" }")
+	case ShapeUnion:
+		fmt.Fprintf(b, "{ #%d |> ", s.Tag)
+		s.Elems[0].str(b)
+		b.WriteString(" }")
+	}
+}
+
+// Key returns a canonical string identity for the shape, used to group
+// identical patterns into one port.
+func (s *Shape) Key() string { return s.String() }
+
+// Overlap reports whether two shapes can match the same value. Dynamic
+// tests overlap everything (they are resolved at run time); distinct
+// constants, distinct process ids (@), and distinct union tags are
+// provably disjoint.
+func Overlap(a, b *Shape) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	// Normalize: Any and Dyn match anything for overlap purposes.
+	aw := a.Kind == ShapeAny || a.Kind == ShapeDyn
+	bw := b.Kind == ShapeAny || b.Kind == ShapeDyn
+	if aw || bw {
+		return true
+	}
+	switch a.Kind {
+	case ShapeConst:
+		switch b.Kind {
+		case ShapeConst:
+			return a.Int == b.Int
+		case ShapeSelf:
+			return true // a pid constant could equal the literal
+		}
+		return true
+	case ShapeSelf:
+		switch b.Kind {
+		case ShapeSelf:
+			return a.ProcID == b.ProcID
+		case ShapeConst:
+			return true
+		}
+		return true
+	case ShapeRecord:
+		if b.Kind != ShapeRecord || len(a.Elems) != len(b.Elems) {
+			return true // type mismatch is reported elsewhere; be conservative
+		}
+		for i := range a.Elems {
+			if !Overlap(a.Elems[i], b.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case ShapeUnion:
+		if b.Kind != ShapeUnion {
+			return true
+		}
+		if a.Tag != b.Tag {
+			return false
+		}
+		return Overlap(a.Elems[0], b.Elems[0])
+	}
+	return true
+}
+
+// Exhaustive reports whether the given static shapes (no dynamic tests)
+// jointly cover every value of type t. The analysis is exact for the
+// pattern forms the checker admits:
+//
+//   - an Any shape covers everything;
+//   - union values are covered when every tag is covered by some pattern
+//     whose subpattern covers the field type;
+//   - record values are covered when some single pattern covers every
+//     field (patterns do not split record fields independently — the
+//     checker requires per-pattern coverage, which is what the paper's
+//     dispatch needs).
+//
+// Shapes containing constants or @ never prove coverage of an int/bool
+// position (the value space is unbounded), so they contribute nothing to
+// exhaustiveness — matching the paper, where such channels rely on the
+// ret-field convention and the verifier catches stuck sends as deadlock.
+func Exhaustive(shapes []*Shape, t *types.Type) bool {
+	// Any single covering shape suffices.
+	for _, s := range shapes {
+		if covers(s, t) {
+			return true
+		}
+	}
+	if t.Kind == types.Union {
+		// Tags may be split across patterns (the paper's process A/B
+		// example: A takes send, B takes update).
+		for tag := range t.Fields {
+			covered := false
+			for _, s := range shapes {
+				if s.Kind == ShapeUnion && s.Tag == tag && covers(s.Elems[0], t.Fields[tag].Type) {
+					covered = true
+					break
+				}
+				if s.Kind == ShapeAny {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// covers reports whether a single shape matches every value of type t.
+func covers(s *Shape, t *types.Type) bool {
+	switch s.Kind {
+	case ShapeAny:
+		return true
+	case ShapeConst, ShapeSelf, ShapeDyn:
+		if t.Kind == types.Bool {
+			return false // a single literal never covers both booleans
+		}
+		return false
+	case ShapeRecord:
+		if t.Kind != types.Record || len(s.Elems) != len(t.Fields) {
+			return false
+		}
+		for i, e := range s.Elems {
+			if !covers(e, t.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case ShapeUnion:
+		if t.Kind != types.Union || len(t.Fields) != 1 {
+			return false
+		}
+		return s.Tag == 0 && covers(s.Elems[0], t.Fields[0].Type)
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"esplang/internal/types"
+)
+
+// genShape builds a random shape of bounded depth.
+func genShape(r *rand.Rand, depth int) *Shape {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &Shape{Kind: ShapeAny}
+		case 1:
+			return &Shape{Kind: ShapeConst, Int: int64(r.Intn(3))}
+		case 2:
+			return &Shape{Kind: ShapeSelf, ProcID: r.Intn(3)}
+		default:
+			return &Shape{Kind: ShapeDyn}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &Shape{Kind: ShapeAny}
+	case 1:
+		return &Shape{Kind: ShapeConst, Int: int64(r.Intn(3))}
+	case 2:
+		return &Shape{Kind: ShapeSelf, ProcID: r.Intn(3)}
+	case 3:
+		return &Shape{Kind: ShapeDyn}
+	case 4:
+		n := 1 + r.Intn(3)
+		s := &Shape{Kind: ShapeRecord}
+		for i := 0; i < n; i++ {
+			s.Elems = append(s.Elems, genShape(r, depth-1))
+		}
+		return s
+	default:
+		return &Shape{Kind: ShapeUnion, Tag: r.Intn(2), Elems: []*Shape{genShape(r, depth-1)}}
+	}
+}
+
+func TestOverlapSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genShape(r, 3)
+		b := genShape(r, 3)
+		return Overlap(a, b) == Overlap(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapReflexiveForSatisfiable(t *testing.T) {
+	// Every generated shape matches at least one value, so it must
+	// overlap itself.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genShape(r, 3)
+		return Overlap(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnyOverlapsEverything(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		return Overlap(&Shape{Kind: ShapeAny}, genShape(r, 3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointCases(t *testing.T) {
+	c1 := &Shape{Kind: ShapeConst, Int: 1}
+	c2 := &Shape{Kind: ShapeConst, Int: 2}
+	if Overlap(c1, c2) {
+		t.Error("distinct constants overlap")
+	}
+	u0 := &Shape{Kind: ShapeUnion, Tag: 0, Elems: []*Shape{{Kind: ShapeAny}}}
+	u1 := &Shape{Kind: ShapeUnion, Tag: 1, Elems: []*Shape{{Kind: ShapeAny}}}
+	if Overlap(u0, u1) {
+		t.Error("distinct tags overlap")
+	}
+	s0 := &Shape{Kind: ShapeSelf, ProcID: 0}
+	s1 := &Shape{Kind: ShapeSelf, ProcID: 1}
+	if Overlap(s0, s1) {
+		t.Error("distinct process ids overlap")
+	}
+	r1 := &Shape{Kind: ShapeRecord, Elems: []*Shape{c1, {Kind: ShapeAny}}}
+	r2 := &Shape{Kind: ShapeRecord, Elems: []*Shape{c2, {Kind: ShapeAny}}}
+	if Overlap(r1, r2) {
+		t.Error("records with disjoint fields overlap")
+	}
+	// Dynamic tests conservatively overlap.
+	if !Overlap(&Shape{Kind: ShapeDyn}, c1) {
+		t.Error("dynamic test must overlap constants")
+	}
+}
+
+func TestExhaustiveUnionSplit(t *testing.T) {
+	u := types.NewUniverse()
+	ut := u.Union(false, []types.Field{
+		{Name: "a", Type: u.IntType},
+		{Name: "b", Type: u.IntType},
+	})
+	a := &Shape{Kind: ShapeUnion, Tag: 0, Elems: []*Shape{{Kind: ShapeAny}}}
+	b := &Shape{Kind: ShapeUnion, Tag: 1, Elems: []*Shape{{Kind: ShapeAny}}}
+	if !Exhaustive([]*Shape{a, b}, ut) {
+		t.Error("full tag split not exhaustive")
+	}
+	if Exhaustive([]*Shape{a}, ut) {
+		t.Error("missing tag considered exhaustive")
+	}
+	if !Exhaustive([]*Shape{{Kind: ShapeAny}}, ut) {
+		t.Error("Any not exhaustive")
+	}
+}
+
+func TestExhaustiveRecord(t *testing.T) {
+	u := types.NewUniverse()
+	rt := u.Record(false, []types.Field{
+		{Name: "x", Type: u.IntType},
+		{Name: "y", Type: u.IntType},
+	})
+	full := &Shape{Kind: ShapeRecord, Elems: []*Shape{{Kind: ShapeAny}, {Kind: ShapeAny}}}
+	partial := &Shape{Kind: ShapeRecord, Elems: []*Shape{{Kind: ShapeConst, Int: 1}, {Kind: ShapeAny}}}
+	if !Exhaustive([]*Shape{full}, rt) {
+		t.Error("all-any record not exhaustive")
+	}
+	if Exhaustive([]*Shape{partial}, rt) {
+		t.Error("const-restricted record considered exhaustive")
+	}
+}
+
+func TestShapeKeyDistinguishes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genShape(r, 3)
+		b := genShape(r, 3)
+		// Equal keys imply equal overlap behavior against a probe set.
+		if a.Key() != b.Key() {
+			return true
+		}
+		probes := []*Shape{
+			{Kind: ShapeConst, Int: 0},
+			{Kind: ShapeConst, Int: 1},
+			{Kind: ShapeUnion, Tag: 0, Elems: []*Shape{{Kind: ShapeAny}}},
+			{Kind: ShapeRecord, Elems: []*Shape{{Kind: ShapeAny}}},
+		}
+		for _, p := range probes {
+			if Overlap(a, p) != Overlap(b, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

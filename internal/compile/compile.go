@@ -1,0 +1,627 @@
+// Package compile lowers a type-checked ESP program to the stack-machine
+// IR executed by the VM, explored by the model checker, and emitted by the
+// C and Promela back ends.
+package compile
+
+import (
+	"fmt"
+
+	"esplang/internal/ast"
+	"esplang/internal/check"
+	"esplang/internal/ir"
+	"esplang/internal/token"
+	"esplang/internal/types"
+)
+
+// Program lowers the checked program to IR. The info must come from a
+// successful check of prog.
+func Program(prog *ast.Program, info *check.Info) *ir.Program {
+	out := &ir.Program{Universe: info.Universe}
+	for _, ch := range info.Channels {
+		c := &ir.Channel{
+			ID:   ch.ID,
+			Name: ch.Name,
+			Elem: ch.Elem,
+			Ext:  ir.ExtDir(ch.Ext),
+		}
+		if ch.Iface != nil {
+			c.IfaceName = ch.Iface.Name
+			for _, ic := range ch.Iface.Cases {
+				pat, ptypes := compileIfacePat(ic.Pattern, info)
+				c.Cases = append(c.Cases, ir.IfaceCase{Name: ic.Name, Pat: pat, ParamTypes: ptypes})
+			}
+		}
+		out.Channels = append(out.Channels, c)
+	}
+	for _, pd := range info.Processes {
+		pc := &procCompiler{info: info, prog: out, proc: &ir.Proc{ID: pd.ID, Name: pd.Name}}
+		pc.compile(pd)
+		out.Procs = append(out.Procs, pc.proc)
+	}
+	// Compute per-channel pattern coverage: used by the VM to decide when
+	// a waiting receiver guarantees a match for a lazily evaluated alt
+	// send arm (§6.1 allocation postponement).
+	coverByChan := make(map[int]bool, len(out.Channels))
+	seen := make(map[int]bool, len(out.Channels))
+	for _, p := range out.Procs {
+		for _, port := range p.Ports {
+			cov := patCovers(port.Pat)
+			if !seen[port.Chan] {
+				coverByChan[port.Chan] = cov
+				seen[port.Chan] = true
+			} else {
+				coverByChan[port.Chan] = coverByChan[port.Chan] && cov
+			}
+		}
+	}
+	for _, c := range out.Channels {
+		c.AllPortsCover = seen[c.ID] && coverByChan[c.ID]
+	}
+	return out
+}
+
+// patCovers reports whether the pattern matches every value of its type.
+func patCovers(p *ir.Pat) bool {
+	switch p.Kind {
+	case ir.PatAny, ir.PatBind:
+		return true
+	case ir.PatRecord:
+		for _, e := range p.Elems {
+			if !patCovers(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// compileIfacePat lowers an interface case pattern; bindings are numbered
+// left to right as parameter slots.
+func compileIfacePat(p ast.Expr, info *check.Info) (*ir.Pat, []*types.Type) {
+	var ptypes []*types.Type
+	var walk func(p ast.Expr) *ir.Pat
+	walk = func(p ast.Expr) *ir.Pat {
+		switch x := p.(type) {
+		case *ast.Binding:
+			slot := len(ptypes)
+			ptypes = append(ptypes, info.Types[p])
+			return &ir.Pat{Kind: ir.PatBind, Slot: slot}
+		case *ast.Wildcard:
+			return &ir.Pat{Kind: ir.PatAny}
+		case *ast.IntLit:
+			return &ir.Pat{Kind: ir.PatConst, Val: x.Value}
+		case *ast.BoolLit:
+			v := int64(0)
+			if x.Value {
+				v = 1
+			}
+			return &ir.Pat{Kind: ir.PatConst, Val: v}
+		case *ast.RecordLit:
+			pat := &ir.Pat{Kind: ir.PatRecord}
+			for _, el := range x.Elems {
+				pat.Elems = append(pat.Elems, walk(el))
+			}
+			return pat
+		case *ast.UnionLit:
+			t := info.Types[p]
+			return &ir.Pat{Kind: ir.PatUnion, Tag: t.FieldIndex(x.Field.Name), Elems: []*ir.Pat{walk(x.Value)}}
+		}
+		return &ir.Pat{Kind: ir.PatAny}
+	}
+	root := walk(p)
+	return root, ptypes
+}
+
+// ---------------------------------------------------------------------------
+// Per-process compilation
+
+type procCompiler struct {
+	info *check.Info
+	prog *ir.Program
+	proc *ir.Proc
+
+	stack    int     // current stack depth
+	breakTos [][]int // pending break-jump pcs per enclosing loop
+}
+
+func (c *procCompiler) compile(pd *check.Process) {
+	c.proc.NumLocals = len(pd.Vars)
+	c.proc.LocalName = make([]string, len(pd.Vars))
+	for i, v := range pd.Vars {
+		c.proc.LocalName[i] = v.Name
+	}
+	c.block(pd.Decl.Body)
+	c.emit(ir.Instr{Op: ir.Halt, Pos: pd.Decl.Pos()})
+}
+
+// emit appends an instruction, tracking stack depth, and returns its pc.
+func (c *procCompiler) emit(in ir.Instr) int {
+	pc := len(c.proc.Code)
+	c.proc.Code = append(c.proc.Code, in)
+	c.stack += stackEffect(in)
+	if c.stack > c.proc.MaxStack {
+		c.proc.MaxStack = c.stack
+	}
+	if c.stack < 0 {
+		panic(fmt.Sprintf("compile: stack underflow at pc %d (%s) in process %s", pc, in.Op, c.proc.Name))
+	}
+	return pc
+}
+
+func stackEffect(in ir.Instr) int {
+	switch in.Op {
+	case ir.Const, ir.SelfID, ir.LoadLocal, ir.Dup:
+		return 1
+	case ir.StoreLocal, ir.Pop, ir.JumpIfFalse, ir.JumpIfTrue,
+		ir.Link, ir.Unlink, ir.Assert, ir.Send, ir.SendCommit,
+		ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod,
+		ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge,
+		ir.NewArray, ir.GetIndex:
+		return -1
+	case ir.NewRecord:
+		return 1 - in.B
+	case ir.SetField:
+		return -2
+	case ir.SetIndex:
+		return -3
+	default:
+		// Neg, Not, GetField, UnionGet, CastCopy, CastReuse, NewUnion,
+		// Jump, Nop, Halt, Recv, Alt: net zero.
+		return 0
+	}
+}
+
+func (c *procCompiler) patch(pc int) {
+	c.proc.Code[pc].A = len(c.proc.Code)
+}
+
+func (c *procCompiler) newTemp(name string) int {
+	slot := c.proc.NumLocals
+	c.proc.NumLocals++
+	c.proc.LocalName = append(c.proc.LocalName, name)
+	return slot
+}
+
+func (c *procCompiler) addAssert(pos token.Pos, expr string) int {
+	id := len(c.prog.Asserts)
+	c.prog.Asserts = append(c.prog.Asserts, ir.AssertInfo{Pos: pos, Expr: expr})
+	return id
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (c *procCompiler) block(b *ast.Block) {
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+}
+
+func (c *procCompiler) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.Block:
+		c.block(x)
+	case *ast.VarDecl:
+		c.expr(x.Init)
+		v := c.info.Defs[x.Name]
+		c.emit(ir.Instr{Op: ir.StoreLocal, A: v.Slot, Pos: x.Pos()})
+	case *ast.Assign:
+		if ast.IsPattern(x.LHS) {
+			c.expr(x.RHS)
+			c.matchLocal(x.LHS)
+			return
+		}
+		c.assign(x)
+	case *ast.While:
+		top := len(c.proc.Code)
+		var exitJump = -1
+		if x.Cond != nil {
+			c.expr(x.Cond)
+			exitJump = c.emit(ir.Instr{Op: ir.JumpIfFalse, Pos: x.Pos()})
+		}
+		c.breakTos = append(c.breakTos, nil)
+		c.block(x.Body)
+		c.emit(ir.Instr{Op: ir.Jump, A: top, Pos: x.Pos()})
+		if exitJump >= 0 {
+			c.patch(exitJump)
+		}
+		breaks := c.breakTos[len(c.breakTos)-1]
+		c.breakTos = c.breakTos[:len(c.breakTos)-1]
+		for _, pc := range breaks {
+			c.patch(pc)
+		}
+	case *ast.If:
+		c.expr(x.Cond)
+		elseJump := c.emit(ir.Instr{Op: ir.JumpIfFalse, Pos: x.Pos()})
+		c.block(x.Then)
+		if x.Else != nil {
+			endJump := c.emit(ir.Instr{Op: ir.Jump, Pos: x.Pos()})
+			c.patch(elseJump)
+			c.stmt(x.Else)
+			c.patch(endJump)
+		} else {
+			c.patch(elseJump)
+		}
+	case *ast.Comm:
+		c.comm(x)
+	case *ast.Alt:
+		c.altStmt(x)
+	case *ast.Link:
+		c.expr(x.X)
+		c.emit(ir.Instr{Op: ir.Link, Pos: x.Pos()})
+	case *ast.Unlink:
+		c.expr(x.X)
+		c.emit(ir.Instr{Op: ir.Unlink, Pos: x.Pos()})
+	case *ast.Assert:
+		c.expr(x.X)
+		id := c.addAssert(x.Pos(), ast.PrintExpr(x.X))
+		c.emit(ir.Instr{Op: ir.Assert, A: id, Pos: x.Pos()})
+	case *ast.Skip:
+		// no code
+	case *ast.BreakStmt:
+		pc := c.emit(ir.Instr{Op: ir.Jump, Pos: x.Pos()})
+		c.breakTos[len(c.breakTos)-1] = append(c.breakTos[len(c.breakTos)-1], pc)
+	}
+}
+
+func (c *procCompiler) assign(x *ast.Assign) {
+	switch lhs := x.LHS.(type) {
+	case *ast.Ident:
+		c.expr(x.RHS)
+		v := c.info.Uses[lhs]
+		c.emit(ir.Instr{Op: ir.StoreLocal, A: v.Slot, Pos: x.Pos()})
+	case *ast.Index:
+		c.expr(lhs.X)
+		c.expr(lhs.I)
+		c.expr(x.RHS)
+		c.emit(ir.Instr{Op: ir.SetIndex, Pos: x.Pos()})
+	case *ast.FieldSel:
+		c.expr(lhs.X)
+		c.expr(x.RHS)
+		t := c.info.Types[lhs.X]
+		c.emit(ir.Instr{Op: ir.SetField, A: t.FieldIndex(lhs.Name.Name), Pos: x.Pos()})
+	default:
+		panic(fmt.Sprintf("compile: invalid assignment target %T", x.LHS))
+	}
+}
+
+// matchLocal compiles an intra-process destructuring pattern match: the
+// matched value is on the stack; tests become assertions, bindings become
+// stores. Locals are borrowed, so no reference counts change.
+func (c *procCompiler) matchLocal(p ast.Expr) {
+	switch x := p.(type) {
+	case *ast.Binding:
+		v := c.info.Defs[x.Name]
+		c.emit(ir.Instr{Op: ir.StoreLocal, A: v.Slot, Pos: p.Pos()})
+	case *ast.Wildcard:
+		c.emit(ir.Instr{Op: ir.Pop, Pos: p.Pos()})
+	case *ast.IntLit:
+		c.emit(ir.Instr{Op: ir.Const, Val: x.Value, Pos: p.Pos()})
+		c.emit(ir.Instr{Op: ir.Eq, Pos: p.Pos()})
+		id := c.addAssert(p.Pos(), "pattern match: "+ast.PrintExpr(p))
+		c.emit(ir.Instr{Op: ir.Assert, A: id, Pos: p.Pos()})
+	case *ast.BoolLit:
+		v := int64(0)
+		if x.Value {
+			v = 1
+		}
+		c.emit(ir.Instr{Op: ir.Const, Val: v, Pos: p.Pos()})
+		c.emit(ir.Instr{Op: ir.Eq, Pos: p.Pos()})
+		id := c.addAssert(p.Pos(), "pattern match: "+ast.PrintExpr(p))
+		c.emit(ir.Instr{Op: ir.Assert, A: id, Pos: p.Pos()})
+	case *ast.Self:
+		c.emit(ir.Instr{Op: ir.SelfID, Pos: p.Pos()})
+		c.emit(ir.Instr{Op: ir.Eq, Pos: p.Pos()})
+		id := c.addAssert(p.Pos(), "pattern match: @")
+		c.emit(ir.Instr{Op: ir.Assert, A: id, Pos: p.Pos()})
+	case *ast.Ident:
+		c.expr(p) // equality test against variable/constant value
+		c.emit(ir.Instr{Op: ir.Eq, Pos: p.Pos()})
+		id := c.addAssert(p.Pos(), "pattern match: "+x.Name)
+		c.emit(ir.Instr{Op: ir.Assert, A: id, Pos: p.Pos()})
+	case *ast.RecordLit:
+		for i, el := range x.Elems {
+			last := i == len(x.Elems)-1
+			if !last {
+				c.emit(ir.Instr{Op: ir.Dup, Pos: p.Pos()})
+			}
+			c.emit(ir.Instr{Op: ir.GetField, A: i, Pos: el.Pos()})
+			if !last {
+				c.matchLocal(el)
+				continue
+			}
+			c.matchLocal(el)
+		}
+		if len(x.Elems) == 0 {
+			c.emit(ir.Instr{Op: ir.Pop, Pos: p.Pos()})
+		}
+	case *ast.UnionLit:
+		t := c.info.Types[p]
+		c.emit(ir.Instr{Op: ir.UnionGet, A: t.FieldIndex(x.Field.Name), Pos: p.Pos()})
+		c.matchLocal(x.Value)
+	default:
+		panic(fmt.Sprintf("compile: invalid local pattern %T", p))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Communication
+
+func (c *procCompiler) comm(x *ast.Comm) {
+	ch := c.info.CommChan[x]
+	if x.Dir == ast.Send {
+		c.expr(x.Arg)
+		flags := 0
+		if isFreshTemp(x.Arg) {
+			flags |= ir.FlagFreeAfter
+		}
+		c.emit(ir.Instr{Op: ir.Send, A: ch.ID, B: flags, Pos: x.Pos()})
+		return
+	}
+	port := c.addPort(ch.ID, x.Arg)
+	c.emit(ir.Instr{Op: ir.Recv, A: ch.ID, B: port, Pos: x.Pos()})
+}
+
+// addPort compiles a receive pattern into a runtime pattern and registers
+// it as a port of this process.
+func (c *procCompiler) addPort(chanID int, pat ast.Expr) int {
+	idx := len(c.proc.Ports)
+	c.proc.Ports = append(c.proc.Ports, ir.Port{Chan: chanID, Pat: c.compilePat(pat)})
+	return idx
+}
+
+func (c *procCompiler) compilePat(p ast.Expr) *ir.Pat {
+	switch x := p.(type) {
+	case *ast.Binding:
+		v := c.info.Defs[x.Name]
+		return &ir.Pat{Kind: ir.PatBind, Slot: v.Slot}
+	case *ast.Wildcard:
+		return &ir.Pat{Kind: ir.PatAny}
+	case *ast.IntLit:
+		return &ir.Pat{Kind: ir.PatConst, Val: x.Value}
+	case *ast.BoolLit:
+		v := int64(0)
+		if x.Value {
+			v = 1
+		}
+		return &ir.Pat{Kind: ir.PatConst, Val: v}
+	case *ast.Self:
+		return &ir.Pat{Kind: ir.PatSelf}
+	case *ast.Ident:
+		if cv, ok := c.info.Consts[x.Name]; ok {
+			return &ir.Pat{Kind: ir.PatConst, Val: cv}
+		}
+		v := c.info.Uses[x]
+		return &ir.Pat{Kind: ir.PatDynEq, Slot: v.Slot}
+	case *ast.RecordLit:
+		pat := &ir.Pat{Kind: ir.PatRecord}
+		for _, el := range x.Elems {
+			pat.Elems = append(pat.Elems, c.compilePat(el))
+		}
+		return pat
+	case *ast.UnionLit:
+		t := c.info.Types[p]
+		return &ir.Pat{
+			Kind:  ir.PatUnion,
+			Tag:   t.FieldIndex(x.Field.Name),
+			Elems: []*ir.Pat{c.compilePat(x.Value)},
+		}
+	default:
+		panic(fmt.Sprintf("compile: invalid channel pattern %T", p))
+	}
+}
+
+func (c *procCompiler) altStmt(x *ast.Alt) {
+	def := ir.AltDef{Pos: x.Pos()}
+	// Precompute guards into temps.
+	guardSlots := make([]int, len(x.Cases))
+	for i, cs := range x.Cases {
+		guardSlots[i] = -1
+		if cs.Guard != nil {
+			slot := c.newTemp("")
+			c.expr(cs.Guard)
+			c.emit(ir.Instr{Op: ir.StoreLocal, A: slot, Pos: cs.Guard.Pos()})
+			guardSlots[i] = slot
+		}
+	}
+	altIdx := len(c.proc.Alts)
+	c.proc.Alts = append(c.proc.Alts, def) // reserve; fill arms below
+	c.emit(ir.Instr{Op: ir.Alt, A: altIdx, Pos: x.Pos()})
+
+	var endJumps []int
+	arms := make([]ir.AltArm, len(x.Cases))
+	for i, cs := range x.Cases {
+		arm := ir.AltArm{GuardSlot: guardSlots[i], EvalPC: -1}
+		ch := c.info.CommChan[cs.Comm]
+		arm.Chan = ch.ID
+		if cs.Comm.Dir == ast.Send {
+			arm.IsSend = true
+			arm.OutPat = litShape(cs.Comm.Arg, c.info)
+			// §6.1: postpone the value computation (and its allocations)
+			// until after the rendezvous commits.
+			arm.EvalPC = len(c.proc.Code)
+			c.expr(cs.Comm.Arg)
+			flags := 0
+			if isFreshTemp(cs.Comm.Arg) {
+				flags |= ir.FlagFreeAfter
+			}
+			c.emit(ir.Instr{Op: ir.SendCommit, A: ch.ID, B: flags, Pos: cs.Comm.Pos()})
+			arm.BodyPC = len(c.proc.Code)
+		} else {
+			arm.Port = c.addPort(ch.ID, cs.Comm.Arg)
+			arm.BodyPC = len(c.proc.Code)
+		}
+		c.block(cs.Body)
+		endJumps = append(endJumps, c.emit(ir.Instr{Op: ir.Jump, Pos: cs.TokPos}))
+		arms[i] = arm
+	}
+	for _, pc := range endJumps {
+		c.patch(pc)
+	}
+	c.proc.Alts[altIdx].Arms = arms
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// litShape derives the statically known shape of an expression's value:
+// literal scalars and union tags become tests, everything else is Any.
+func litShape(e ast.Expr, info *check.Info) *ir.Pat {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return &ir.Pat{Kind: ir.PatConst, Val: x.Value}
+	case *ast.BoolLit:
+		v := int64(0)
+		if x.Value {
+			v = 1
+		}
+		return &ir.Pat{Kind: ir.PatConst, Val: v}
+	case *ast.RecordLit:
+		p := &ir.Pat{Kind: ir.PatRecord}
+		for _, el := range x.Elems {
+			p.Elems = append(p.Elems, litShape(el, info))
+		}
+		return p
+	case *ast.UnionLit:
+		t := info.Types[e]
+		return &ir.Pat{Kind: ir.PatUnion, Tag: t.FieldIndex(x.Field.Name),
+			Elems: []*ir.Pat{litShape(x.Value, info)}}
+	default:
+		return &ir.Pat{Kind: ir.PatAny}
+	}
+}
+
+// isFreshTemp reports whether evaluating e allocates a new object whose
+// allocation reference the evaluation context must take over.
+func isFreshTemp(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.RecordLit, *ast.UnionLit, *ast.ArrayLit, *ast.Cast:
+		return true
+	}
+	return false
+}
+
+func (c *procCompiler) expr(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		c.emit(ir.Instr{Op: ir.Const, Val: x.Value, Pos: e.Pos()})
+	case *ast.BoolLit:
+		v := int64(0)
+		if x.Value {
+			v = 1
+		}
+		c.emit(ir.Instr{Op: ir.Const, Val: v, Pos: e.Pos()})
+	case *ast.Self:
+		c.emit(ir.Instr{Op: ir.SelfID, Pos: e.Pos()})
+	case *ast.Ident:
+		if cv, ok := c.info.Consts[x.Name]; ok {
+			c.emit(ir.Instr{Op: ir.Const, Val: cv, Pos: e.Pos()})
+			return
+		}
+		v := c.info.Uses[x]
+		c.emit(ir.Instr{Op: ir.LoadLocal, A: v.Slot, Pos: e.Pos()})
+	case *ast.Unary:
+		c.expr(x.X)
+		if x.Op == token.NOT {
+			c.emit(ir.Instr{Op: ir.Not, Pos: e.Pos()})
+		} else {
+			c.emit(ir.Instr{Op: ir.Neg, Pos: e.Pos()})
+		}
+	case *ast.Binary:
+		c.binary(x)
+	case *ast.Index:
+		c.expr(x.X)
+		c.expr(x.I)
+		c.emit(ir.Instr{Op: ir.GetIndex, Pos: e.Pos()})
+	case *ast.FieldSel:
+		c.expr(x.X)
+		t := c.info.Types[x.X]
+		c.emit(ir.Instr{Op: ir.GetField, A: t.FieldIndex(x.Name.Name), Pos: e.Pos()})
+	case *ast.RecordLit:
+		t := c.info.Types[e]
+		var absorb int64
+		for i, el := range x.Elems {
+			c.expr(el)
+			if isFreshTemp(el) {
+				absorb |= 1 << i
+			}
+		}
+		c.emit(ir.Instr{Op: ir.NewRecord, A: t.ID(), B: len(x.Elems), Val: absorb, Pos: e.Pos()})
+	case *ast.UnionLit:
+		t := c.info.Types[e]
+		c.expr(x.Value)
+		var absorb int64
+		if isFreshTemp(x.Value) {
+			absorb = 1
+		}
+		c.emit(ir.Instr{Op: ir.NewUnion, A: t.ID(), B: t.FieldIndex(x.Field.Name), Val: absorb, Pos: e.Pos()})
+	case *ast.ArrayLit:
+		t := c.info.Types[e]
+		c.expr(x.Count)
+		c.expr(x.Init)
+		c.emit(ir.Instr{Op: ir.NewArray, A: t.ID(), Pos: e.Pos()})
+	case *ast.Cast:
+		c.expr(x.X)
+		t := c.info.Types[e]
+		c.emit(ir.Instr{Op: ir.CastCopy, A: t.ID(), Pos: e.Pos()})
+	default:
+		panic(fmt.Sprintf("compile: invalid expression %T", e))
+	}
+}
+
+func (c *procCompiler) binary(x *ast.Binary) {
+	switch x.Op {
+	case token.LAND:
+		// x && y  =>  if !x then false else y
+		c.expr(x.X)
+		falseJump := c.emit(ir.Instr{Op: ir.JumpIfFalse, Pos: x.Pos()})
+		c.expr(x.Y)
+		endJump := c.emit(ir.Instr{Op: ir.Jump, Pos: x.Pos()})
+		c.patch(falseJump)
+		c.stack-- // the false path enters with the condition already popped
+		c.emit(ir.Instr{Op: ir.Const, Val: 0, Pos: x.Pos()})
+		c.patch(endJump)
+		return
+	case token.LOR:
+		c.expr(x.X)
+		trueJump := c.emit(ir.Instr{Op: ir.JumpIfTrue, Pos: x.Pos()})
+		c.expr(x.Y)
+		endJump := c.emit(ir.Instr{Op: ir.Jump, Pos: x.Pos()})
+		c.patch(trueJump)
+		c.stack-- // the true path enters with the condition already popped
+		c.emit(ir.Instr{Op: ir.Const, Val: 1, Pos: x.Pos()})
+		c.patch(endJump)
+		return
+	}
+	c.expr(x.X)
+	c.expr(x.Y)
+	var op ir.Op
+	switch x.Op {
+	case token.ADD:
+		op = ir.Add
+	case token.SUB:
+		op = ir.Sub
+	case token.MUL:
+		op = ir.Mul
+	case token.QUO:
+		op = ir.Div
+	case token.REM:
+		op = ir.Mod
+	case token.EQL:
+		op = ir.Eq
+	case token.NEQ:
+		op = ir.Ne
+	case token.LSS:
+		op = ir.Lt
+	case token.LEQ:
+		op = ir.Le
+	case token.GTR:
+		op = ir.Gt
+	case token.GEQ:
+		op = ir.Ge
+	default:
+		panic(fmt.Sprintf("compile: invalid binary op %s", x.Op))
+	}
+	c.emit(ir.Instr{Op: op, Pos: x.Pos()})
+}

@@ -1,0 +1,259 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/check"
+	"esplang/internal/compile"
+	"esplang/internal/ir"
+	"esplang/internal/parser"
+)
+
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return compile.Program(prog, info)
+}
+
+func TestBlockingPointsAreExplicit(t *testing.T) {
+	p := compileSrc(t, `
+channel a: int
+channel b: int
+process p {
+    in( a, $x);
+    out( b, x);
+    alt {
+        case( in( a, $y)) { skip; }
+        case( out( b, 1)) { skip; }
+    }
+}
+process q { out( a, 1); in( b, $v); out( a, 2); in( b, $w); }
+`)
+	proc := p.ProcByName("p")
+	counts := map[ir.Op]int{}
+	for _, in := range proc.Code {
+		counts[in.Op]++
+	}
+	if counts[ir.Recv] != 1 || counts[ir.Send] != 1 || counts[ir.Alt] != 1 || counts[ir.SendCommit] != 1 {
+		t.Errorf("blocking ops: %v", counts)
+	}
+	if len(proc.Ports) != 2 {
+		t.Errorf("ports = %d, want 2 (plain recv + alt recv arm)", len(proc.Ports))
+	}
+	if len(proc.Alts) != 1 || len(proc.Alts[0].Arms) != 2 {
+		t.Fatalf("alts = %+v", proc.Alts)
+	}
+	send := proc.Alts[0].Arms[1]
+	if !send.IsSend || send.EvalPC < 0 {
+		t.Errorf("send arm = %+v", send)
+	}
+	if send.OutPat == nil || send.OutPat.Kind != ir.PatConst || send.OutPat.Val != 1 {
+		t.Errorf("send arm OutPat = %+v, want const 1", send.OutPat)
+	}
+}
+
+func TestFreshTempFlag(t *testing.T) {
+	p := compileSrc(t, `
+type r = record of { a: int }
+channel c: r
+process p {
+    $v: r = { 1};
+    out( c, v);        // variable: sender keeps its reference
+    out( c, { 2});     // fresh literal: released after transfer
+}
+process q { in( c, $x); unlink( x); in( c, $y); unlink( y); }
+`)
+	proc := p.ProcByName("p")
+	var flags []int
+	for _, in := range proc.Code {
+		if in.Op == ir.Send {
+			flags = append(flags, in.B)
+		}
+	}
+	if len(flags) != 2 || flags[0]&ir.FlagFreeAfter != 0 || flags[1]&ir.FlagFreeAfter == 0 {
+		t.Errorf("send flags = %v, want [0, FreeAfter]", flags)
+	}
+}
+
+func TestAbsorbMask(t *testing.T) {
+	// A record literal with one borrowed child (variable) and one fresh
+	// child (nested literal): the absorb mask marks only the fresh one.
+	p := compileSrc(t, `
+type inner = record of { a: int }
+type outer = record of { x: inner, y: inner }
+channel c: outer
+process p {
+    $v: inner = { 1};
+    out( c, { v, { 2}});
+    unlink( v);
+}
+process q { in( c, $o); unlink( o); }
+`)
+	proc := p.ProcByName("p")
+	for _, in := range proc.Code {
+		if in.Op == ir.NewRecord && in.B == 2 {
+			if in.Val != 0b10 {
+				t.Errorf("absorb mask = %b, want 10 (second child fresh)", in.Val)
+			}
+			return
+		}
+	}
+	t.Fatal("outer record construction not found")
+}
+
+func TestPortPatternCompilation(t *testing.T) {
+	p := compileSrc(t, `
+const MAGIC = 9;
+type r = record of { kind: int, ret: int, v: int }
+channel c: r
+process a {
+    $last = 0;
+    in( c, { MAGIC, @, $x});
+    in( c, { last, _, $y});
+    last = x + y;
+}
+process w { out( c, { 9, 0, 1}); }
+`)
+	proc := p.ProcByName("a")
+	if len(proc.Ports) != 2 {
+		t.Fatalf("ports = %d", len(proc.Ports))
+	}
+	p0 := proc.Ports[0].Pat
+	if p0.Kind != ir.PatRecord ||
+		p0.Elems[0].Kind != ir.PatConst || p0.Elems[0].Val != 9 ||
+		p0.Elems[1].Kind != ir.PatSelf ||
+		p0.Elems[2].Kind != ir.PatBind {
+		t.Errorf("port 0 = %s", ir.FormatPat(p0))
+	}
+	p1 := proc.Ports[1].Pat
+	if p1.Elems[0].Kind != ir.PatDynEq || p1.Elems[1].Kind != ir.PatAny {
+		t.Errorf("port 1 = %s", ir.FormatPat(p1))
+	}
+}
+
+func TestGuardsPrecomputedIntoTemps(t *testing.T) {
+	p := compileSrc(t, `
+channel a: int
+channel b: int
+process p {
+    $n = 0;
+    while (true) {
+        alt {
+            case( n < 4, in( a, $x)) { n = n + 1; }
+            case( n > 0, out( b, n)) { n = n - 1; }
+        }
+    }
+}
+process q { out( a, 1); in( b, $v); }
+`)
+	proc := p.ProcByName("p")
+	arms := proc.Alts[0].Arms
+	if arms[0].GuardSlot < 0 || arms[1].GuardSlot < 0 {
+		t.Errorf("guard slots not allocated: %+v", arms)
+	}
+	if arms[0].GuardSlot == arms[1].GuardSlot {
+		t.Error("both guards share a slot")
+	}
+	// Guard temps are extra locals beyond the named variables.
+	named := 0
+	for _, n := range proc.LocalName {
+		if n != "" {
+			named++
+		}
+	}
+	if proc.NumLocals <= named {
+		t.Errorf("no temp slots: locals=%d named=%d", proc.NumLocals, named)
+	}
+}
+
+func TestChannelCoverageComputed(t *testing.T) {
+	p := compileSrc(t, `
+type u = union of { a: int, b: int }
+channel tagged: u
+channel plain: int
+process r1 { in( tagged, { a |> $x}); in( plain, $p); }
+process r2 { in( tagged, { b |> $y}); }
+process w { out( tagged, { a |> 1}); out( tagged, { b |> 2}); out( plain, 3); }
+`)
+	tagged := p.ChannelByName("tagged")
+	plain := p.ChannelByName("plain")
+	if tagged.AllPortsCover {
+		t.Error("tag-dispatch channel marked fully covering")
+	}
+	if !plain.AllPortsCover {
+		t.Error("bind-only channel not marked covering")
+	}
+}
+
+func TestMaxStackIsSufficient(t *testing.T) {
+	// Deeply nested expression: the static MaxStack must cover it (the C
+	// backend sizes a static array from it).
+	p := compileSrc(t, `
+channel outC: int external reader
+process p {
+    $a = 1;
+    out( outC, ((a + 2) * (a + 3)) + ((a + 4) * (a + 5)) + ((a + 6) * (a + 7)));
+}
+`)
+	proc := p.ProcByName("p")
+	if proc.MaxStack < 3 {
+		t.Errorf("MaxStack = %d, suspiciously small", proc.MaxStack)
+	}
+	// And the disassembly must mention the sends and stack size.
+	d := ir.Disasm(proc)
+	if !strings.Contains(d, "maxstack") {
+		t.Error("disassembly missing header")
+	}
+}
+
+func TestLocalNamesPreserved(t *testing.T) {
+	p := compileSrc(t, `
+process p {
+    $counter = 0;
+    $flag = true;
+    if (flag) { counter = counter + 1; }
+}
+`)
+	proc := p.ProcByName("p")
+	if proc.LocalName[0] != "counter" || proc.LocalName[1] != "flag" {
+		t.Errorf("local names = %v", proc.LocalName)
+	}
+}
+
+func TestIfaceCasesCompiled(t *testing.T) {
+	p := compileSrc(t, `
+type sT = record of { a: int, b: int }
+type uT = union of { s: sT, t: int }
+channel c: uT external writer
+interface i( out c) {
+    S( { s |> { $a, $b}}),
+    T( { t |> $v}),
+}
+process p {
+    while (true) {
+        alt {
+            case( in( c, { s |> { $x, $y}})) { skip; }
+            case( in( c, { t |> $z})) { skip; }
+        }
+    }
+}
+`)
+	ch := p.ChannelByName("c")
+	if len(ch.Cases) != 2 {
+		t.Fatalf("cases = %d", len(ch.Cases))
+	}
+	if ch.Cases[0].Name != "S" || len(ch.Cases[0].ParamTypes) != 2 {
+		t.Errorf("case S = %+v", ch.Cases[0])
+	}
+	if ch.Cases[0].Pat.Kind != ir.PatUnion || ch.Cases[0].Pat.Tag != 0 {
+		t.Errorf("case S pattern = %s", ir.FormatPat(ch.Cases[0].Pat))
+	}
+}

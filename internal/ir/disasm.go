@@ -1,0 +1,110 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a process's code as human-readable assembly, one
+// instruction per line, prefixed by the pc.
+func Disasm(p *Proc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "process %s (locals=%d, maxstack=%d)\n", p.Name, p.NumLocals, p.MaxStack)
+	for pc, in := range p.Code {
+		fmt.Fprintf(&b, "%4d  %s\n", pc, FormatInstr(p, in))
+	}
+	for i, a := range p.Alts {
+		fmt.Fprintf(&b, "alt %d:\n", i)
+		for j, arm := range a.Arms {
+			dir := "recv"
+			if arm.IsSend {
+				dir = "send"
+			}
+			fmt.Fprintf(&b, "  arm %d: %s chan=%d guard=%d body=%d eval=%d port=%d\n",
+				j, dir, arm.Chan, arm.GuardSlot, arm.BodyPC, arm.EvalPC, arm.Port)
+		}
+	}
+	for i, pt := range p.Ports {
+		fmt.Fprintf(&b, "port %d: chan=%d pat=%s\n", i, pt.Chan, FormatPat(pt.Pat))
+	}
+	return b.String()
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(p *Proc, in Instr) string {
+	name := func(slot int) string {
+		if p != nil && slot >= 0 && slot < len(p.LocalName) && p.LocalName[slot] != "" {
+			return fmt.Sprintf("%d(%s)", slot, p.LocalName[slot])
+		}
+		return fmt.Sprintf("%d", slot)
+	}
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("const %d", in.Val)
+	case LoadLocal, StoreLocal:
+		return fmt.Sprintf("%s %s", in.Op, name(in.A))
+	case Jump, JumpIfFalse, JumpIfTrue:
+		return fmt.Sprintf("%s -> %d", in.Op, in.A)
+	case NewRecord:
+		return fmt.Sprintf("newrecord type=%d n=%d absorb=%b", in.A, in.B, in.Val)
+	case NewUnion:
+		return fmt.Sprintf("newunion type=%d tag=%d absorb=%b", in.A, in.B, in.Val)
+	case NewArray:
+		return fmt.Sprintf("newarray type=%d", in.A)
+	case GetField, SetField:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case UnionGet:
+		return fmt.Sprintf("unionget tag=%d", in.A)
+	case CastCopy, CastReuse:
+		return fmt.Sprintf("%s type=%d", in.Op, in.A)
+	case Assert:
+		return fmt.Sprintf("assert #%d", in.A)
+	case Send, SendCommit:
+		s := fmt.Sprintf("%s chan=%d", in.Op, in.A)
+		if in.B&FlagFreeAfter != 0 {
+			s += " freeafter"
+		}
+		return s
+	case Recv:
+		return fmt.Sprintf("recv chan=%d port=%d", in.A, in.B)
+	case Alt:
+		return fmt.Sprintf("alt #%d", in.A)
+	default:
+		return in.Op.String()
+	}
+}
+
+// FormatPat renders a runtime pattern.
+func FormatPat(p *Pat) string {
+	var b strings.Builder
+	fmtPat(&b, p)
+	return b.String()
+}
+
+func fmtPat(b *strings.Builder, p *Pat) {
+	switch p.Kind {
+	case PatAny:
+		b.WriteByte('_')
+	case PatBind:
+		fmt.Fprintf(b, "$%d", p.Slot)
+	case PatConst:
+		fmt.Fprintf(b, "%d", p.Val)
+	case PatSelf:
+		b.WriteByte('@')
+	case PatDynEq:
+		fmt.Fprintf(b, "=%d", p.Slot)
+	case PatRecord:
+		b.WriteString("{ ")
+		for i, e := range p.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmtPat(b, e)
+		}
+		b.WriteString(" }")
+	case PatUnion:
+		fmt.Fprintf(b, "{ tag%d |> ", p.Tag)
+		fmtPat(b, p.Elems[0])
+		b.WriteString(" }")
+	}
+}

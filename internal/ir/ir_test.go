@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", Const: "const", Send: "send", SendCommit: "sendcommit",
+		Recv: "recv", Alt: "alt", NewRecord: "newrecord", Unlink: "unlink",
+		CastReuse: "castreuse", Halt: "halt", GetIndex: "getindex",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestIsBlocking(t *testing.T) {
+	for _, op := range []Op{Send, Recv, Alt} {
+		if !op.IsBlocking() {
+			t.Errorf("%s should be blocking", op)
+		}
+	}
+	for _, op := range []Op{SendCommit, Const, Jump, Halt, Link} {
+		if op.IsBlocking() {
+			t.Errorf("%s should not be blocking", op)
+		}
+	}
+}
+
+func TestFormatPat(t *testing.T) {
+	p := &Pat{Kind: PatUnion, Tag: 1, Elems: []*Pat{
+		{Kind: PatRecord, Elems: []*Pat{
+			{Kind: PatSelf},
+			{Kind: PatConst, Val: 7},
+			{Kind: PatBind, Slot: 3},
+			{Kind: PatDynEq, Slot: 2},
+			{Kind: PatAny},
+		}},
+	}}
+	got := FormatPat(p)
+	want := "{ tag1 |> { @, 7, $3, =2, _ } }"
+	if got != want {
+		t.Errorf("FormatPat = %q, want %q", got, want)
+	}
+}
+
+func TestDisasmRendersEverything(t *testing.T) {
+	p := &Proc{
+		ID:        0,
+		Name:      "demo",
+		NumLocals: 2,
+		MaxStack:  3,
+		LocalName: []string{"x", ""},
+		Code: []Instr{
+			{Op: Const, Val: 42},
+			{Op: StoreLocal, A: 0},
+			{Op: LoadLocal, A: 0},
+			{Op: Send, A: 1, B: FlagFreeAfter},
+			{Op: Recv, A: 2, B: 0},
+			{Op: Alt, A: 0},
+			{Op: NewRecord, A: 3, B: 2, Val: 1},
+			{Op: Assert, A: 0},
+			{Op: Jump, A: 0},
+			{Op: Halt},
+		},
+		Ports: []Port{{Chan: 2, Pat: &Pat{Kind: PatBind, Slot: 1}}},
+		Alts: []AltDef{{Arms: []AltArm{
+			{GuardSlot: -1, IsSend: false, Chan: 2, Port: 0, BodyPC: 9, EvalPC: -1},
+		}}},
+	}
+	d := Disasm(p)
+	for _, want := range []string{
+		"process demo", "locals=2", "maxstack=3",
+		"const 42", "storelocal 0(x)", "loadlocal 0(x)",
+		"send chan=1 freeafter", "recv chan=2 port=0", "alt #0",
+		"newrecord type=3 n=2 absorb=1", "assert #0", "jump -> 0", "halt",
+		"port 0: chan=2 pat=$1",
+		"arm 0: recv chan=2",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	prog := &Program{
+		Channels: []*Channel{{ID: 0, Name: "a"}, {ID: 1, Name: "b"}},
+		Procs:    []*Proc{{ID: 0, Name: "p"}, {ID: 1, Name: "q"}},
+	}
+	if prog.ChannelByName("b").ID != 1 || prog.ChannelByName("zz") != nil {
+		t.Error("ChannelByName wrong")
+	}
+	if prog.ProcByName("q").ID != 1 || prog.ProcByName("zz") != nil {
+		t.Error("ProcByName wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package lexer
+
+import (
+	"testing"
+
+	"esplang/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("scan %q: unexpected errors: %v", src, errs[0])
+	}
+	var ks []token.Kind
+	for _, tk := range toks {
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"+ - * / %", []token.Kind{token.ADD, token.SUB, token.MUL, token.QUO, token.REM, token.EOF}},
+		{"&& || !", []token.Kind{token.LAND, token.LOR, token.NOT, token.EOF}},
+		{"== != < <= > >=", []token.Kind{token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EOF}},
+		{"= $ # @", []token.Kind{token.ASSIGN, token.DOLLAR, token.HASH, token.AT, token.EOF}},
+		{"|> ->", []token.Kind{token.PIPEGT, token.ARROW, token.EOF}},
+		{"( ) { } [ ]", []token.Kind{token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.LBRACK, token.RBRACK, token.EOF}},
+		{", ; : . ...", []token.Kind{token.COMMA, token.SEMICOLON, token.COLON, token.DOT, token.ELLIPSIS, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Fatalf("scan %q: got %v, want %v", tt.src, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("scan %q token %d: got %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks, errs := ScanAll([]byte("process pageTable while true int foo42"))
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs[0])
+	}
+	want := []struct {
+		kind token.Kind
+		lit  string
+	}{
+		{token.PROCESS, "process"},
+		{token.IDENT, "pageTable"},
+		{token.WHILE, "while"},
+		{token.TRUE, "true"},
+		{token.INTTYPE, "int"},
+		{token.IDENT, "foo42"},
+		{token.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind {
+			t.Errorf("token %d: kind %v, want %v", i, toks[i].Kind, w.kind)
+		}
+		if w.kind == token.IDENT && toks[i].Lit != w.lit {
+			t.Errorf("token %d: lit %q, want %q", i, toks[i].Lit, w.lit)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, errs := ScanAll([]byte("a // line comment\nb /* block\ncomment */ c"))
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs[0])
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens, want 4: %v", len(toks), toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New([]byte("ab\n cd"))
+	t1 := l.Next()
+	if t1.Pos.Line != 1 || t1.Pos.Column != 1 {
+		t.Errorf("first token at %v, want 1:1", t1.Pos)
+	}
+	t2 := l.Next()
+	if t2.Pos.Line != 2 || t2.Pos.Column != 2 {
+		t.Errorf("second token at %v, want 2:2", t2.Pos)
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	toks, errs := ScanAll([]byte("0 7 54677 1024"))
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs[0])
+	}
+	wantLits := []string{"0", "7", "54677", "1024"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("token %d: got %v, want INT(%s)", i, toks[i], w)
+		}
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	_, errs := ScanAll([]byte("12abc"))
+	if len(errs) == 0 {
+		t.Fatal("expected error for 12abc")
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"?", "`", "&x", "|x"} {
+		_, errs := ScanAll([]byte(src))
+		if len(errs) == 0 {
+			t.Errorf("scan %q: expected error", src)
+		}
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll([]byte("a /* never closed"))
+	if len(errs) == 0 {
+		t.Fatal("expected unterminated-comment error")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New(nil)
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}
+
+func TestPaperFragment(t *testing.T) {
+	// A fragment straight from the paper (§4.2) must scan cleanly.
+	src := `
+$sr: sendT = { 7, 54677, 1024};
+$ur1: userT = { send |> sr};
+{ send |> { $dest, $vAddr, $size}}: userT = ur2;
+`
+	_, errs := ScanAll([]byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs[0])
+	}
+}

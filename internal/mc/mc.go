@@ -1,0 +1,392 @@
+// Package mc is an explicit-state model checker for compiled ESP
+// programs — the repository's stand-in for SPIN (§5 of the paper).
+//
+// Like SPIN it is on-the-fly: states are generated during the search, and
+// violations are reported with a counterexample trace. It offers SPIN's
+// three exploration modes (§5.1): exhaustive search over a visited-state
+// set, bit-state hashing for large state spaces, and random simulation.
+//
+// A state is a quiescent machine: every process parked at a blocking
+// point. A transition is one communication (rendezvous pair, or alt arm
+// commitment) followed by the deterministic local execution it enables —
+// the same merging of deterministic steps that keeps the paper's state
+// spaces small (2251 states for the largest VMMC process, §5.3).
+//
+// The properties checked are the paper's: assertions, absence of
+// deadlock, and per-process memory safety — use after free, double free,
+// negative reference counts, and leaks via objectId exhaustion (§5.2).
+package mc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"time"
+
+	"esplang/internal/ir"
+	"esplang/internal/vm"
+)
+
+// Mode selects the exploration strategy.
+type Mode int
+
+// Exploration modes (§5.1).
+const (
+	Exhaustive Mode = iota // full search with a visited-state set
+	BitState               // partial search, visited set as a Bloom-style bit array
+	Simulation             // random walks
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Exhaustive:
+		return "exhaustive"
+	case BitState:
+		return "bitstate"
+	case Simulation:
+		return "simulation"
+	}
+	return "?"
+}
+
+// Options configures a check.
+type Options struct {
+	Mode Mode
+	// MaxStates bounds the number of distinct states explored
+	// (0 = 10 million).
+	MaxStates int
+	// MaxDepth bounds the search depth (0 = 100000).
+	MaxDepth int
+	// BitstateBits is log2 of the bit array size for BitState mode
+	// (0 = 24, i.e. 16M bits / 2 MB).
+	BitstateBits uint
+	// Seed and SimRuns configure Simulation mode (SimRuns 0 = 100).
+	Seed    int64
+	SimRuns int
+	// MaxLiveObjects bounds the heap of every explored machine; exceeding
+	// it is a leak violation (0 = 4096).
+	MaxLiveObjects int
+	// NoDeadlockCheck disables reporting of deadlocked states (useful
+	// when a test driver legitimately stops feeding the system).
+	NoDeadlockCheck bool
+	// EndRecvOK treats states where every process is halted or blocked
+	// waiting to receive as valid end states — the firmware-at-rest
+	// convention, standing in for SPIN's end-state labels. Note that with
+	// this option a mutual receive-wait goes unreported.
+	EndRecvOK bool
+	// StepBudget bounds deterministic execution between blocking points.
+	StepBudget int64
+}
+
+func (o *Options) fill() {
+	if o.MaxStates == 0 {
+		o.MaxStates = 10_000_000
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 100_000
+	}
+	if o.BitstateBits == 0 {
+		o.BitstateBits = 24
+	}
+	if o.SimRuns == 0 {
+		o.SimRuns = 100
+	}
+	if o.MaxLiveObjects == 0 {
+		o.MaxLiveObjects = 4096
+	}
+}
+
+// TraceStep is one transition of a counterexample.
+type TraceStep struct {
+	Choice vm.CommChoice
+	Desc   string
+}
+
+// Violation describes a property failure found during the search.
+type Violation struct {
+	// Fault is the runtime fault (assertion, memory safety, ...), nil for
+	// deadlocks.
+	Fault *vm.Fault
+	// Deadlock is set when the violation is a stuck non-final state.
+	Deadlock bool
+	// Trace is the sequence of communications from the initial state.
+	Trace []TraceStep
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	if v.Deadlock {
+		b.WriteString("deadlock")
+	} else if v.Fault != nil {
+		b.WriteString(v.Fault.Error())
+	}
+	fmt.Fprintf(&b, " (after %d transitions)", len(v.Trace))
+	return b.String()
+}
+
+// Result summarizes a check.
+type Result struct {
+	Violation   *Violation // nil = property holds (within the search bounds)
+	States      int        // distinct states visited
+	Transitions int
+	MaxDepth    int
+	Truncated   bool // bounds were hit; the search is partial
+	Elapsed     time.Duration
+	MemBytes    int64 // memory used by the visited-state structure
+	Mode        Mode
+}
+
+func (r *Result) String() string {
+	status := "pass"
+	if r.Violation != nil {
+		status = "FAIL: " + r.Violation.String()
+	} else if r.Truncated {
+		status = "pass (partial search)"
+	}
+	return fmt.Sprintf("%s — %d states, %d transitions, depth %d, %v, %.1f KB (%s mode)",
+		status, r.States, r.Transitions, r.MaxDepth, r.Elapsed.Round(time.Millisecond),
+		float64(r.MemBytes)/1024, r.Mode)
+}
+
+// Check explores the program's state space. The program must have no
+// external channels with unbound sides playing a role: model-checked
+// programs drive themselves (test drivers are ESP processes, the analogue
+// of the paper's programmer-supplied test.SPIN).
+func Check(prog *ir.Program, opts Options) *Result {
+	opts.fill()
+	start := time.Now()
+	res := &Result{Mode: opts.Mode}
+
+	if opts.Mode == Simulation {
+		simulate(prog, opts, res)
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	var visited visitedSet
+	if opts.Mode == BitState {
+		visited = newBitSet(opts.BitstateBits)
+	} else {
+		visited = &mapSet{m: make(map[string]struct{})}
+	}
+
+	m0 := newMachine(prog, opts)
+	m0.Settle()
+	if f := m0.Fault(); f != nil {
+		res.Violation = &Violation{Fault: f}
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	visited.Add(m0.EncodeState())
+	res.States = 1
+
+	type frame struct {
+		m     *vm.Machine
+		comms []vm.CommChoice
+		next  int
+	}
+	comms0 := m0.EnabledComms()
+	if len(comms0) == 0 && stuck(m0, opts) {
+		res.Violation = &Violation{Deadlock: true}
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	stack := []frame{{m: m0, comms: comms0}}
+	trace := []TraceStep{}
+
+	for len(stack) > 0 && res.Violation == nil {
+		top := &stack[len(stack)-1]
+		if top.next >= len(top.comms) {
+			stack = stack[:len(stack)-1]
+			if len(trace) > 0 {
+				trace = trace[:len(trace)-1]
+			}
+			continue
+		}
+		c := top.comms[top.next]
+		top.next++
+
+		if len(stack) >= opts.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+
+		m2 := top.m.Clone()
+		m2.FireComm(c)
+		res.Transitions++
+		step := TraceStep{Choice: c, Desc: describe(prog, c)}
+
+		if f := m2.Fault(); f != nil {
+			res.Violation = &Violation{Fault: f, Trace: append(append([]TraceStep{}, trace...), step)}
+			break
+		}
+		key := m2.EncodeState()
+		if visited.Has(key) {
+			continue
+		}
+		if res.States >= opts.MaxStates {
+			res.Truncated = true
+			continue
+		}
+		visited.Add(key)
+		res.States++
+
+		comms := m2.EnabledComms()
+		if len(comms) == 0 && stuck(m2, opts) {
+			res.Violation = &Violation{Deadlock: true, Trace: append(append([]TraceStep{}, trace...), step)}
+			break
+		}
+		stack = append(stack, frame{m: m2, comms: comms})
+		trace = append(trace, step)
+		if len(stack) > res.MaxDepth {
+			res.MaxDepth = len(stack)
+		}
+	}
+
+	res.MemBytes = visited.MemBytes()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// stuck reports whether a quiescent state with no enabled communication
+// is a deadlock violation under the configured end-state policy.
+func stuck(m *vm.Machine, opts Options) bool {
+	if opts.NoDeadlockCheck || m.AllHalted() {
+		return false
+	}
+	if opts.EndRecvOK && m.AtRest() {
+		return false
+	}
+	return true
+}
+
+func newMachine(prog *ir.Program, opts Options) *vm.Machine {
+	m := vm.New(prog, vm.Config{
+		Manual:         true,
+		MaxLiveObjects: opts.MaxLiveObjects,
+		StepBudget:     opts.StepBudget,
+	})
+	m.Cost = vm.ZeroCostModel()
+	return m
+}
+
+// describe renders a transition in terms of source names.
+func describe(prog *ir.Program, c vm.CommChoice) string {
+	chName := fmt.Sprintf("chan%d", c.Chan)
+	if c.Chan < len(prog.Channels) {
+		chName = prog.Channels[c.Chan].Name
+	}
+	pn := func(i int) string {
+		if i < len(prog.Procs) {
+			return prog.Procs[i].Name
+		}
+		return fmt.Sprintf("proc%d", i)
+	}
+	s := pn(c.Sender)
+	if c.SenderArm >= 0 {
+		s += fmt.Sprintf("[alt arm %d]", c.SenderArm)
+	}
+	r := pn(c.Receiver)
+	if c.ReceiverArm >= 0 {
+		r += fmt.Sprintf("[alt arm %d]", c.ReceiverArm)
+	}
+	return fmt.Sprintf("%s --%s--> %s", s, chName, r)
+}
+
+// simulate runs random walks (SPIN's simulation mode, which "makes a
+// random choice at each stage and is therefore more effective in
+// discovering bugs" than a deterministic simulator, §5.1).
+func simulate(prog *ir.Program, opts Options, res *Result) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for run := 0; run < opts.SimRuns && res.Violation == nil; run++ {
+		m := newMachine(prog, opts)
+		m.Settle()
+		var trace []TraceStep
+		for depth := 0; depth < opts.MaxDepth; depth++ {
+			if f := m.Fault(); f != nil {
+				res.Violation = &Violation{Fault: f, Trace: trace}
+				break
+			}
+			if m.AllHalted() {
+				break
+			}
+			comms := m.EnabledComms()
+			if len(comms) == 0 {
+				if stuck(m, opts) {
+					res.Violation = &Violation{Deadlock: true, Trace: trace}
+				}
+				break
+			}
+			c := comms[rng.Intn(len(comms))]
+			m.FireComm(c)
+			res.Transitions++
+			trace = append(trace, TraceStep{Choice: c, Desc: describe(prog, c)})
+			if len(trace) > res.MaxDepth {
+				res.MaxDepth = len(trace)
+			}
+		}
+		if f := m.Fault(); f != nil && res.Violation == nil {
+			res.Violation = &Violation{Fault: f, Trace: trace}
+		}
+		res.States += len(trace) // states along walks (not deduplicated)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Visited-state sets
+
+type visitedSet interface {
+	Has(key string) bool
+	Add(key string)
+	MemBytes() int64
+}
+
+type mapSet struct {
+	m     map[string]struct{}
+	bytes int64
+}
+
+func (s *mapSet) Has(key string) bool { _, ok := s.m[key]; return ok }
+func (s *mapSet) Add(key string) {
+	s.m[key] = struct{}{}
+	s.bytes += int64(len(key)) + 16
+}
+func (s *mapSet) MemBytes() int64 { return s.bytes }
+
+// bitSet is SPIN's bit-state hashing: each state sets two hash-derived
+// bits; a state is "visited" when both bits are set. False positives
+// (missed states) are possible — the search is partial but uses constant
+// memory (§5.1).
+type bitSet struct {
+	bits []uint64
+	mask uint64
+}
+
+func newBitSet(log2bits uint) *bitSet {
+	n := uint64(1) << log2bits
+	return &bitSet{bits: make([]uint64, n/64), mask: n - 1}
+}
+
+func (s *bitSet) hashes(key string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(key))
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write([]byte(key))
+	b := h2.Sum64()
+	return a & s.mask, (b ^ a>>32) & s.mask
+}
+
+func (s *bitSet) Has(key string) bool {
+	a, b := s.hashes(key)
+	return s.bits[a/64]&(1<<(a%64)) != 0 && s.bits[b/64]&(1<<(b%64)) != 0
+}
+
+func (s *bitSet) Add(key string) {
+	a, b := s.hashes(key)
+	s.bits[a/64] |= 1 << (a % 64)
+	s.bits[b/64] |= 1 << (b % 64)
+}
+
+func (s *bitSet) MemBytes() int64 { return int64(len(s.bits) * 8) }

@@ -1,0 +1,362 @@
+package mc_test
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/check"
+	"esplang/internal/compile"
+	"esplang/internal/ir"
+	"esplang/internal/mc"
+	"esplang/internal/parser"
+	"esplang/internal/vm"
+)
+
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return compile.Program(prog, info)
+}
+
+func TestPassSimplePipeline(t *testing.T) {
+	prog := compileSrc(t, `
+channel c: int
+process producer { $i = 0; while (i < 3) { out( c, i); i = i + 1; } }
+process consumer { $n = 0; while (n < 3) { in( c, $v); assert( v == n); n = n + 1; } }
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.Truncated {
+		t.Error("search unexpectedly truncated")
+	}
+	if res.States < 3 {
+		t.Errorf("only %d states explored", res.States)
+	}
+}
+
+func TestAssertionViolationFound(t *testing.T) {
+	prog := compileSrc(t, `
+channel c: int
+process producer { out( c, 41); }
+process consumer { in( c, $v); assert( v == 42); }
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation == nil {
+		t.Fatal("assertion violation not found")
+	}
+	if res.Violation.Fault == nil || res.Violation.Fault.Kind != vm.FaultAssert {
+		t.Errorf("violation = %v, want assertion fault", res.Violation)
+	}
+	if len(res.Violation.Trace) == 0 {
+		t.Error("no counterexample trace")
+	}
+}
+
+func TestDeadlockFound(t *testing.T) {
+	prog := compileSrc(t, `
+channel a: int
+channel b: int
+process p { in( a, $x); out( b, 1); }
+process q { in( b, $y); out( a, 2); }
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation == nil || !res.Violation.Deadlock {
+		t.Fatalf("deadlock not found: %v", res.Violation)
+	}
+}
+
+func TestDeadlockRequiresInterleaving(t *testing.T) {
+	// Two clients competing for two locks in opposite order: deadlock only
+	// on one interleaving. The exhaustive search must find it.
+	prog := compileSrc(t, `
+type lockT = record of { ret: int}
+channel acqA: lockT
+channel relA: lockT
+channel acqB: lockT
+channel relB: lockT
+process lockA {
+    while (true) {
+        in( acqA, { $who});
+        in( relA, { who});
+    }
+}
+process lockB {
+    while (true) {
+        in( acqB, { $who});
+        in( relB, { who});
+    }
+}
+process client1 {
+    while (true) {
+        out( acqA, { @});
+        out( acqB, { @});
+        out( relB, { @});
+        out( relA, { @});
+    }
+}
+process client2 {
+    while (true) {
+        out( acqB, { @});
+        out( acqA, { @});
+        out( relA, { @});
+        out( relB, { @});
+    }
+}
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation == nil || !res.Violation.Deadlock {
+		t.Fatalf("interleaving deadlock not found: %v", res.Violation)
+	}
+	if len(res.Violation.Trace) < 2 {
+		t.Errorf("trace too short: %v", res.Violation.Trace)
+	}
+	// The trace must mention the lock channels by name.
+	joined := ""
+	for _, s := range res.Violation.Trace {
+		joined += s.Desc + "\n"
+	}
+	if !strings.Contains(joined, "acqA") && !strings.Contains(joined, "acqB") {
+		t.Errorf("trace does not mention channels:\n%s", joined)
+	}
+}
+
+func TestMemoryLeakFound(t *testing.T) {
+	// Driver + leaky worker: the worker forgets to unlink. The checker
+	// must run out of objectIds (§5.2).
+	prog := compileSrc(t, `
+type dataT = array of int
+channel c: dataT
+process driver {
+    while (true) {
+        $d: dataT = { 2 -> 1};
+        out( c, d);
+        unlink( d);
+    }
+}
+process worker {
+    while (true) {
+        in( c, $data);
+        assert( data[0] == 1);
+        // BUG: missing unlink( data);
+    }
+}
+`)
+	res := mc.Check(prog, mc.Options{MaxLiveObjects: 16})
+	if res.Violation == nil || res.Violation.Fault == nil {
+		t.Fatalf("leak not found: %v", res.Violation)
+	}
+	if res.Violation.Fault.Kind != vm.FaultOutOfObjects {
+		t.Errorf("fault %v, want out-of-objects", res.Violation.Fault.Kind)
+	}
+}
+
+func TestUseAfterFreeFound(t *testing.T) {
+	prog := compileSrc(t, `
+type dataT = array of int
+channel c: dataT
+process driver {
+    $d: dataT = { 2 -> 7};
+    out( c, d);
+    unlink( d);
+}
+process worker {
+    in( c, $data);
+    unlink( data);
+    assert( data[0] == 7); // BUG: read after free
+}
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation == nil || res.Violation.Fault == nil ||
+		res.Violation.Fault.Kind != vm.FaultUseAfterFree {
+		t.Fatalf("use-after-free not found: %v", res.Violation)
+	}
+}
+
+func TestDoubleFreeFound(t *testing.T) {
+	prog := compileSrc(t, `
+type dataT = array of int
+channel c: dataT
+process driver {
+    $d: dataT = { 2 -> 7};
+    out( c, d);
+    unlink( d);
+}
+process worker {
+    in( c, $data);
+    unlink( data);
+    unlink( data); // BUG
+}
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation == nil || res.Violation.Fault == nil ||
+		res.Violation.Fault.Kind != vm.FaultDoubleFree {
+		t.Fatalf("double free not found: %v", res.Violation)
+	}
+}
+
+func TestStateSpaceIsDeduplicated(t *testing.T) {
+	// A server loop with a bounded driver: states repeat, so the visited
+	// set must keep the count small.
+	prog := compileSrc(t, `
+channel req: int
+channel rep: int
+process server {
+    while (true) {
+        in( req, $v);
+        out( rep, v+1);
+    }
+}
+process driver {
+    $n = 0;
+    while (n < 4) {
+        out( req, n);
+        in( rep, $r);
+        assert( r == n + 1);
+        n = n + 1;
+    }
+}
+`)
+	res := mc.Check(prog, mc.Options{EndRecvOK: true})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.States > 100 {
+		t.Errorf("state space too large: %d states (deduplication broken?)", res.States)
+	}
+}
+
+func TestNondeterministicDriverAlt(t *testing.T) {
+	// A driver using alt over two sends models nondeterministic input
+	// (the role of the paper's test.SPIN files). Both branches must be
+	// explored: one of them trips the assertion.
+	prog := compileSrc(t, `
+channel c: int
+process driver {
+    alt {
+        case( out( c, 1)) { skip; }
+        case( out( c, 2)) { skip; }
+    }
+}
+process sink {
+    in( c, $v);
+    assert( v == 1); // fails when the driver chose 2
+}
+`)
+	res := mc.Check(prog, mc.Options{})
+	if res.Violation == nil || res.Violation.Fault == nil ||
+		res.Violation.Fault.Kind != vm.FaultAssert {
+		t.Fatalf("alt-branch assertion not found: %v", res.Violation)
+	}
+}
+
+func TestBitstateModeFindsBug(t *testing.T) {
+	prog := compileSrc(t, `
+channel c: int
+process producer { out( c, 41); }
+process consumer { in( c, $v); assert( v == 42); }
+`)
+	res := mc.Check(prog, mc.Options{Mode: mc.BitState, BitstateBits: 16})
+	if res.Violation == nil {
+		t.Fatal("bitstate mode missed the violation")
+	}
+	if res.MemBytes != 1<<16/8 {
+		t.Errorf("bitstate memory = %d, want %d", res.MemBytes, 1<<16/8)
+	}
+}
+
+func TestSimulationModeFindsBug(t *testing.T) {
+	prog := compileSrc(t, `
+channel c: int
+process driver {
+    $n = 0;
+    while (n < 10) {
+        alt {
+            case( out( c, 0)) { skip; }
+            case( out( c, 1)) { skip; }
+        }
+        n = n + 1;
+    }
+}
+process sink {
+    $ones = 0;
+    while (true) {
+        in( c, $v);
+        if (v == 1) { ones = ones + 1; }
+        assert( ones < 3); // trips once three 1s arrived
+    }
+}
+`)
+	res := mc.Check(prog, mc.Options{Mode: mc.Simulation, Seed: 42, SimRuns: 50, NoDeadlockCheck: true})
+	if res.Violation == nil || res.Violation.Fault == nil {
+		t.Fatalf("simulation missed the violation: %+v", res)
+	}
+}
+
+func TestSimulationDeterministicWithSeed(t *testing.T) {
+	src := `
+channel c: int
+process driver {
+    alt {
+        case( out( c, 1)) { skip; }
+        case( out( c, 2)) { skip; }
+    }
+}
+process sink { in( c, $v); }
+`
+	prog := compileSrc(t, src)
+	a := mc.Check(prog, mc.Options{Mode: mc.Simulation, Seed: 7, SimRuns: 5})
+	b := mc.Check(compileSrc(t, src), mc.Options{Mode: mc.Simulation, Seed: 7, SimRuns: 5})
+	if a.Transitions != b.Transitions {
+		t.Errorf("same seed produced different walks: %d vs %d transitions", a.Transitions, b.Transitions)
+	}
+}
+
+func TestMaxStatesTruncation(t *testing.T) {
+	// An unbounded counter has an infinite state space; the bound must
+	// truncate the search rather than hang.
+	prog := compileSrc(t, `
+channel c: int
+process counter {
+    $n = 0;
+    while (true) {
+        out( c, n);
+        n = n + 1;
+    }
+}
+process sink {
+    while (true) { in( c, $v); }
+}
+`)
+	res := mc.Check(prog, mc.Options{MaxStates: 500})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if !res.Truncated {
+		t.Error("search not marked truncated")
+	}
+	if res.States > 501 {
+		t.Errorf("explored %d states, bound was 500", res.States)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	prog := compileSrc(t, `
+channel c: int
+process p { out( c, 1); }
+process q { in( c, $v); }
+`)
+	res := mc.Check(prog, mc.Options{})
+	s := res.String()
+	if !strings.Contains(s, "pass") || !strings.Contains(s, "states") {
+		t.Errorf("result string %q missing fields", s)
+	}
+}

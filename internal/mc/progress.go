@@ -1,0 +1,164 @@
+package mc
+
+import (
+	"fmt"
+
+	"esplang/internal/ir"
+	"esplang/internal/vm"
+)
+
+// Non-progress cycle detection — SPIN's liveness check, standing in for
+// the paper's "more complex properties, like absence of starvation, can
+// be specified using LTL" (§5.1).
+//
+// The user designates progress channels; a communication on one of them
+// is a progress step (SPIN's progress labels). A reachable cycle composed
+// entirely of non-progress transitions means the system can run forever
+// without ever making progress — starvation.
+//
+// The search builds the full state graph (exhaustive mode), then finds a
+// cycle in the subgraph of non-progress edges via an iterative DFS.
+
+// CheckProgress explores the state space exhaustively and then looks for
+// a non-progress cycle. progressChannels name the channels whose
+// communications count as progress.
+func CheckProgress(prog *ir.Program, progressChannels []string, opts Options) *Result {
+	opts.fill()
+	res := &Result{Mode: Exhaustive}
+
+	progressChan := map[int]bool{}
+	for _, name := range progressChannels {
+		ch := prog.ChannelByName(name)
+		if ch == nil {
+			res.Violation = &Violation{Fault: &vm.Fault{
+				Kind: vm.FaultInternal,
+				Msg:  fmt.Sprintf("no channel %q for progress labeling", name),
+			}}
+			return res
+		}
+		progressChan[ch.ID] = true
+	}
+
+	// Phase 1: enumerate the reachable state graph.
+	type edge struct {
+		to       int
+		progress bool
+		desc     string
+	}
+	var (
+		states []*vm.Machine
+		idOf   = map[string]int{}
+		edges  [][]edge
+	)
+
+	m0 := newMachine(prog, opts)
+	m0.Settle()
+	if f := m0.Fault(); f != nil {
+		res.Violation = &Violation{Fault: f}
+		return res
+	}
+	idOf[m0.EncodeState()] = 0
+	states = append(states, m0)
+	edges = append(edges, nil)
+
+	for i := 0; i < len(states) && len(states) < opts.MaxStates; i++ {
+		m := states[i]
+		for _, c := range m.EnabledComms() {
+			m2 := m.Clone()
+			m2.FireComm(c)
+			res.Transitions++
+			if f := m2.Fault(); f != nil {
+				res.Violation = &Violation{Fault: f}
+				res.States = len(states)
+				return res
+			}
+			key := m2.EncodeState()
+			j, ok := idOf[key]
+			if !ok {
+				j = len(states)
+				idOf[key] = j
+				states = append(states, m2)
+				edges = append(edges, nil)
+			}
+			edges[i] = append(edges[i], edge{to: j, progress: progressChan[c.Chan], desc: describe(prog, c)})
+		}
+	}
+	res.States = len(states)
+	if len(states) >= opts.MaxStates {
+		res.Truncated = true
+	}
+
+	// Phase 2: a cycle using only non-progress edges. Iterative DFS with
+	// colors: 0 unvisited, 1 on stack, 2 done.
+	color := make([]uint8, len(states))
+	parent := make([]int, len(states))
+	parentEdge := make([]string, len(states))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleAt = -1
+	var cycleTo = -1
+	var cycleDesc string
+
+	var stack []int
+	push := func(s int) { color[s] = 1; stack = append(stack, s) }
+	for root := 0; root < len(states) && cycleAt < 0; root++ {
+		if color[root] != 0 {
+			continue
+		}
+		push(root)
+		// Explicit DFS: track per-node next-edge index.
+		next := map[int]int{}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			advanced := false
+			for next[s] < len(edges[s]) {
+				e := edges[s][next[s]]
+				next[s]++
+				if e.progress {
+					continue // progress edges break non-progress cycles
+				}
+				switch color[e.to] {
+				case 0:
+					parent[e.to] = s
+					parentEdge[e.to] = e.desc
+					push(e.to)
+					advanced = true
+				case 1:
+					cycleAt = e.to
+					cycleTo = s
+					cycleDesc = e.desc
+				}
+				if advanced || cycleAt >= 0 {
+					break
+				}
+			}
+			if cycleAt >= 0 {
+				break
+			}
+			if !advanced {
+				color[s] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+
+	if cycleAt >= 0 {
+		// Reconstruct the cycle portion from the DFS parents.
+		var steps []TraceStep
+		for s := cycleTo; s != cycleAt && s >= 0; s = parent[s] {
+			steps = append(steps, TraceStep{Desc: parentEdge[s]})
+		}
+		// Reverse into forward order and close the loop.
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		steps = append(steps, TraceStep{Desc: cycleDesc + "  (closes the cycle)"})
+		res.Violation = &Violation{
+			Fault: &vm.Fault{Kind: vm.FaultAssert,
+				Msg: "non-progress cycle: the system can run forever without progress (starvation)"},
+			Trace: steps,
+		}
+	}
+	return res
+}

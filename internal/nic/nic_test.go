@@ -1,0 +1,206 @@
+package nic
+
+import (
+	"testing"
+
+	"esplang/internal/sim"
+)
+
+// probeFW is a minimal firmware: it forwards every host request as one
+// packet and notifies for every arrived data packet.
+type probeFW struct {
+	cycles int64
+}
+
+func (f *probeFW) Name() string { return "probe" }
+
+func (f *probeFW) Run(n *NIC) int64 {
+	total := int64(0)
+	for {
+		progress := false
+		if n.HaveRequest() && n.SendDMAFree() {
+			if r, ok := n.PopRequest(); ok && !r.IsUpdate {
+				n.SendPacket(&Packet{Src: n.ID, Dst: r.Dest, Seq: 1, MsgID: r.MsgID,
+					Size: r.Size, Total: r.Size, Last: true})
+				progress = true
+			}
+		}
+		if p, ok := n.PopPacket(); ok {
+			if !p.IsAck {
+				n.PostNotification(Notification{From: p.Src, MsgID: p.MsgID, Size: p.Total})
+			}
+			progress = true
+		}
+		for {
+			if _, ok := n.PopDMADone(); !ok {
+				break
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+		n.ChargeCPU(f.cycles)
+		total += f.cycles
+	}
+	return total
+}
+
+func pair(t *testing.T, cfg Config) (*sim.Kernel, *NIC, *NIC) {
+	t.Helper()
+	k := sim.New()
+	a := New(0, k, cfg)
+	b := New(1, k, cfg)
+	Connect(a, b)
+	a.FW = &probeFW{cycles: 10}
+	b.FW = &probeFW{cycles: 10}
+	return k, a, b
+}
+
+func TestPacketDelivery(t *testing.T) {
+	k, a, b := pair(t, DefaultConfig())
+	var got []Notification
+	b.OnNotify(func(nt Notification) { got = append(got, nt) })
+	a.PostRequest(HostRequest{Dest: 1, Size: 256, MsgID: 7})
+	k.Run(nil)
+	if len(got) != 1 || got[0].MsgID != 7 || got[0].Size != 256 {
+		t.Fatalf("notifications = %+v", got)
+	}
+	if a.PktsSent != 1 || b.PktsRecv != 1 {
+		t.Errorf("pkt counts: sent %d recv %d", a.PktsSent, b.PktsRecv)
+	}
+}
+
+func TestWireAndDMATiming(t *testing.T) {
+	cfg := DefaultConfig()
+	k, a, b := pair(t, cfg)
+	var at int64
+	b.OnNotify(func(Notification) { at = k.Now() })
+	a.PostRequest(HostRequest{Dest: 1, Size: 1024, MsgID: 1})
+	k.Run(nil)
+	// Lower bound: send DMA + wire + recv DMA serialized.
+	bytes := int64(1024 + int64(cfg.HeaderBytes))
+	minimum := 2*(cfg.NetDMAStartupNs+bytes*cfg.NetDMAPsPerByte/1000) + cfg.WireLatencyNs
+	if at < minimum {
+		t.Errorf("delivered at %d ns, impossible before %d ns", at, minimum)
+	}
+}
+
+func TestDMAEngineExclusion(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.New()
+	n := New(0, k, cfg)
+	if !n.StartHostDMA(4096, 1) {
+		t.Fatal("first DMA rejected")
+	}
+	if n.StartHostDMA(64, 2) {
+		t.Fatal("second DMA accepted while busy")
+	}
+	if n.HostDMAFree() {
+		t.Error("engine reports free while busy")
+	}
+	k.Run(nil)
+	if !n.HostDMAFree() {
+		t.Error("engine busy after completion")
+	}
+	d, ok := n.PopDMADone()
+	if !ok || d.Tag != 1 {
+		t.Errorf("completion = %+v, %v", d, ok)
+	}
+}
+
+func TestCutThroughSignalsEarly(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.New()
+	n := New(0, k, cfg)
+	if !n.StartHostDMACutThrough(4096, 512, 9) {
+		t.Fatal("cut-through rejected")
+	}
+	leadNs := cfg.HostDMAStartupNs + 512*cfg.HostDMAPsPerByte/1000
+	fullNs := cfg.HostDMAStartupNs + 4096*cfg.HostDMAPsPerByte/1000
+	k.RunUntil(leadNs)
+	if _, ok := n.PopDMADone(); !ok {
+		t.Fatal("no completion at lead time")
+	}
+	if n.HostDMAFree() {
+		t.Error("engine free before the full transfer ended")
+	}
+	k.RunUntil(fullNs)
+	if !n.HostDMAFree() {
+		t.Error("engine still busy after the full transfer")
+	}
+}
+
+func TestDMADuration(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.New()
+	n := New(0, k, cfg)
+	n.StartHostDMA(4096, 1)
+	want := cfg.HostDMAStartupNs + 4096*cfg.HostDMAPsPerByte/1000
+	k.Run(nil)
+	if k.Now() != want {
+		t.Errorf("transfer took %d ns, want %d", k.Now(), want)
+	}
+}
+
+func TestCPUBusyDelaysNextRun(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.New()
+	a := New(0, k, cfg)
+	b := New(1, k, cfg)
+	Connect(a, b)
+	fw := &probeFW{cycles: 1000} // 30 us per run
+	a.FW = fw
+	b.FW = &probeFW{}
+	a.PostRequest(HostRequest{Dest: 1, Size: 4, MsgID: 1})
+	a.PostRequest(HostRequest{Dest: 1, Size: 4, MsgID: 2})
+	k.Run(nil)
+	if a.CPUCycles < 1000 {
+		t.Errorf("cpu cycles %d, want >= 1000", a.CPUCycles)
+	}
+	// The second packet cannot leave before the first run's CPU time
+	// elapsed. (SendPacket issue times are offset by ChargeCPU.)
+	if a.PktsSent != 2 {
+		t.Errorf("sent %d packets", a.PktsSent)
+	}
+}
+
+func TestRecvRingBackPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecvRingSize = 2
+	k := sim.New()
+	a := New(0, k, cfg)
+	b := New(1, k, cfg)
+	Connect(a, b)
+	a.FW = &probeFW{}
+	// b has no firmware: packets pile up in the ring, the rest wait in
+	// the wire queue (lossless).
+	for i := 0; i < 6; i++ {
+		a.PostRequest(HostRequest{Dest: 1, Size: 16, MsgID: int64(i)})
+	}
+	k.RunUntil(1_000_000)
+	if b.DroppedRing == 0 {
+		t.Error("back-pressure retry never triggered")
+	}
+	got := 0
+	for {
+		if _, ok := b.PopPacket(); !ok {
+			break
+		}
+		got++
+	}
+	if got > cfg.RecvRingSize {
+		t.Errorf("ring held %d packets, capacity %d", got, cfg.RecvRingSize)
+	}
+}
+
+func TestNotificationTimeStamped(t *testing.T) {
+	k, a, b := pair(t, DefaultConfig())
+	var nt Notification
+	b.OnNotify(func(n Notification) { nt = n })
+	a.PostRequest(HostRequest{Dest: 1, Size: 64, MsgID: 3})
+	k.Run(nil)
+	if nt.Time <= 0 {
+		t.Errorf("notification time %d", nt.Time)
+	}
+}

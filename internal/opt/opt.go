@@ -1,0 +1,445 @@
+// Package opt implements the per-process IR optimizations of §6.1.
+//
+// The ESP compiler performs "some of the traditional optimizations like
+// copy propagation and dead code elimination on each process separately
+// before combining them to generate the C code", exploiting semantic
+// information the C compiler no longer sees. This package implements:
+//
+//   - constant folding (including branch folding);
+//   - copy propagation within basic blocks;
+//   - dead-store and unreachable-code elimination;
+//   - mutability-cast reuse: a CastCopy whose source object is provably
+//     dead afterwards becomes an in-place CastReuse, eliding the copy
+//     (§4.2: "if the compiler can determine that the object being cast is
+//     no longer used afterwards, it can reuse that object");
+//
+// The §6.1 allocation postponement for alt send arms and the channel
+// pattern/record fusion are structural properties of the compiler's alt
+// lowering and the rendezvous transfer, respectively; their ablations are
+// exercised through vm.Config instead.
+package opt
+
+import (
+	"esplang/internal/ir"
+)
+
+// Options selects passes. The zero value runs nothing; use All for the
+// default pipeline.
+type Options struct {
+	ConstFold bool
+	CopyProp  bool
+	DCE       bool
+	CastReuse bool
+	// CrossProc enables the whole-program constant analysis across
+	// channels — the paper's §6.2 future work.
+	CrossProc bool
+	// MaxRounds bounds the fixpoint iteration (0 = 4).
+	MaxRounds int
+}
+
+// All returns the full pipeline, including the cross-process analysis.
+func All() Options {
+	return Options{ConstFold: true, CopyProp: true, DCE: true, CastReuse: true, CrossProc: true}
+}
+
+// Optimize rewrites every process of the program in place and returns it.
+func Optimize(prog *ir.Program, opts Options) *ir.Program {
+	rounds := opts.MaxRounds
+	if rounds == 0 {
+		rounds = 4
+	}
+	if opts.CrossProc {
+		// Whole-program first: the constants it plants feed the local
+		// passes below.
+		CrossProcConstants(prog)
+	}
+	for _, p := range prog.Procs {
+		for i := 0; i < rounds; i++ {
+			changed := false
+			if opts.ConstFold {
+				changed = constFold(p) || changed
+			}
+			if opts.CastReuse {
+				changed = castReuse(p) || changed
+			}
+			if opts.CopyProp {
+				changed = copyProp(p) || changed
+			}
+			if opts.DCE {
+				changed = removeUnreachable(p) || changed
+				changed = compactNops(p) || changed
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return prog
+}
+
+// ---------------------------------------------------------------------------
+// Helpers: control-flow structure
+
+// entryPoints returns every pc that control can enter other than by
+// fall-through: process start, jump targets, alt arm eval/body starts,
+// and the resume points of blocking instructions.
+func entryPoints(p *ir.Proc) []int {
+	var pts []int
+	pts = append(pts, 0)
+	for pc, in := range p.Code {
+		switch in.Op {
+		case ir.Jump, ir.JumpIfFalse, ir.JumpIfTrue:
+			pts = append(pts, in.A)
+		case ir.Send, ir.Recv:
+			pts = append(pts, pc+1)
+		}
+	}
+	for _, alt := range p.Alts {
+		for _, arm := range alt.Arms {
+			if arm.IsSend {
+				pts = append(pts, arm.EvalPC)
+			}
+			pts = append(pts, arm.BodyPC)
+		}
+	}
+	return pts
+}
+
+// blocks partitions code into basic-block start pcs.
+func blockStarts(p *ir.Proc) map[int]bool {
+	starts := map[int]bool{}
+	for _, pc := range entryPoints(p) {
+		if pc < len(p.Code) {
+			starts[pc] = true
+		}
+	}
+	for pc, in := range p.Code {
+		switch in.Op {
+		case ir.Jump, ir.JumpIfFalse, ir.JumpIfTrue, ir.Halt, ir.Alt, ir.SendCommit:
+			if pc+1 < len(p.Code) {
+				starts[pc+1] = true
+			}
+		}
+	}
+	return starts
+}
+
+// rebuild removes instructions whose keep flag is false, remapping every
+// pc reference (jumps, alt arm targets). An instruction may only be
+// dropped if control never needs to land on it.
+func rebuild(p *ir.Proc, keep []bool) {
+	remap := make([]int, len(p.Code)+1)
+	n := 0
+	for pc := range p.Code {
+		remap[pc] = n
+		if keep[pc] {
+			n++
+		}
+	}
+	remap[len(p.Code)] = n
+
+	newCode := make([]ir.Instr, 0, n)
+	for pc, in := range p.Code {
+		if !keep[pc] {
+			continue
+		}
+		switch in.Op {
+		case ir.Jump, ir.JumpIfFalse, ir.JumpIfTrue:
+			in.A = remap[in.A]
+		}
+		newCode = append(newCode, in)
+	}
+	p.Code = newCode
+	for ai := range p.Alts {
+		for j := range p.Alts[ai].Arms {
+			arm := &p.Alts[ai].Arms[j]
+			if arm.EvalPC >= 0 {
+				arm.EvalPC = remap[arm.EvalPC]
+			}
+			arm.BodyPC = remap[arm.BodyPC]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+
+func constFold(p *ir.Proc) bool {
+	changed := false
+	starts := blockStarts(p)
+	for pc := 0; pc+1 < len(p.Code); pc++ {
+		a := p.Code[pc]
+		// Unary on a constant.
+		if a.Op == ir.Const && !starts[pc+1] {
+			b := p.Code[pc+1]
+			switch b.Op {
+			case ir.Neg:
+				p.Code[pc] = ir.Instr{Op: ir.Const, Val: -a.Val, Pos: a.Pos}
+				p.Code[pc+1] = ir.Instr{Op: ir.Nop, Pos: b.Pos}
+				changed = true
+				continue
+			case ir.Not:
+				v := int64(0)
+				if a.Val == 0 {
+					v = 1
+				}
+				p.Code[pc] = ir.Instr{Op: ir.Const, Val: v, Pos: a.Pos}
+				p.Code[pc+1] = ir.Instr{Op: ir.Nop, Pos: b.Pos}
+				changed = true
+				continue
+			case ir.JumpIfFalse:
+				if a.Val == 0 {
+					p.Code[pc] = ir.Instr{Op: ir.Jump, A: b.A, Pos: a.Pos}
+				} else {
+					p.Code[pc] = ir.Instr{Op: ir.Nop, Pos: a.Pos}
+				}
+				p.Code[pc+1] = ir.Instr{Op: ir.Nop, Pos: b.Pos}
+				changed = true
+				continue
+			case ir.JumpIfTrue:
+				if a.Val != 0 {
+					p.Code[pc] = ir.Instr{Op: ir.Jump, A: b.A, Pos: a.Pos}
+				} else {
+					p.Code[pc] = ir.Instr{Op: ir.Nop, Pos: a.Pos}
+				}
+				p.Code[pc+1] = ir.Instr{Op: ir.Nop, Pos: b.Pos}
+				changed = true
+				continue
+			}
+		}
+		// Binary on two constants.
+		if pc+2 < len(p.Code) && a.Op == ir.Const && p.Code[pc+1].Op == ir.Const &&
+			!starts[pc+1] && !starts[pc+2] {
+			c := p.Code[pc+2]
+			if v, ok := foldBin(c.Op, a.Val, p.Code[pc+1].Val); ok {
+				p.Code[pc] = ir.Instr{Op: ir.Const, Val: v, Pos: a.Pos}
+				p.Code[pc+1] = ir.Instr{Op: ir.Nop, Pos: a.Pos}
+				p.Code[pc+2] = ir.Instr{Op: ir.Nop, Pos: c.Pos}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func foldBin(op ir.Op, x, y int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.Add:
+		return x + y, true
+	case ir.Sub:
+		return x - y, true
+	case ir.Mul:
+		return x * y, true
+	case ir.Div:
+		if y == 0 {
+			return 0, false // leave the runtime fault in place
+		}
+		return x / y, true
+	case ir.Mod:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case ir.Eq:
+		return b2i(x == y), true
+	case ir.Ne:
+		return b2i(x != y), true
+	case ir.Lt:
+		return b2i(x < y), true
+	case ir.Le:
+		return b2i(x <= y), true
+	case ir.Gt:
+		return b2i(x > y), true
+	case ir.Ge:
+		return b2i(x >= y), true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation (within basic blocks)
+
+// copyProp rewrites "LoadLocal a; StoreLocal b; ...; LoadLocal b" to load
+// a directly while neither a nor b has been reassigned within the block,
+// and collapses "StoreLocal x; LoadLocal x" into "Dup; StoreLocal x".
+func copyProp(p *ir.Proc) bool {
+	changed := false
+	starts := blockStarts(p)
+
+	// Peephole: StoreLocal x; LoadLocal x  =>  Dup; StoreLocal x.
+	for pc := 0; pc+1 < len(p.Code); pc++ {
+		if starts[pc+1] {
+			continue
+		}
+		a, b := p.Code[pc], p.Code[pc+1]
+		if a.Op == ir.StoreLocal && b.Op == ir.LoadLocal && a.A == b.A {
+			p.Code[pc] = ir.Instr{Op: ir.Dup, Pos: a.Pos}
+			p.Code[pc+1] = ir.Instr{Op: ir.StoreLocal, A: a.A, Pos: b.Pos}
+			p.MaxStack++ // the Dup deepens the stack at this point
+			changed = true
+		}
+	}
+
+	// Block-local copy table.
+	copyOf := map[int]int{} // dst slot -> src slot
+	kill := func(slot int) {
+		delete(copyOf, slot)
+		for d, s := range copyOf {
+			if s == slot {
+				delete(copyOf, d)
+			}
+		}
+	}
+	for pc := 0; pc < len(p.Code); pc++ {
+		if starts[pc] {
+			copyOf = map[int]int{}
+		}
+		in := &p.Code[pc]
+		switch in.Op {
+		case ir.LoadLocal:
+			if src, ok := copyOf[in.A]; ok {
+				in.A = src
+				changed = true
+			}
+			// "LoadLocal a; StoreLocal b" establishes b := a.
+			if pc+1 < len(p.Code) && !starts[pc+1] && p.Code[pc+1].Op == ir.StoreLocal {
+				dst := p.Code[pc+1].A
+				if dst != in.A {
+					kill(dst)
+					copyOf[dst] = in.A
+					pc++ // the store itself kills nothing else
+					continue
+				}
+			}
+		case ir.StoreLocal:
+			kill(in.A)
+		case ir.Recv:
+			// Pattern binding writes arbitrary slots.
+			copyOf = map[int]int{}
+		case ir.Alt, ir.Send, ir.SendCommit, ir.Halt:
+			copyOf = map[int]int{}
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------------
+// Cast reuse
+
+// castReuse turns "LoadLocal x; CastCopy" into "LoadLocal x; CastReuse"
+// when slot x is provably dead afterwards: no other LoadLocal of x
+// anywhere in the process, and x is not written by any receive pattern
+// (which would imply the value escapes through other uses).
+func castReuse(p *ir.Proc) bool {
+	loadCount := map[int]int{}
+	for _, in := range p.Code {
+		if in.Op == ir.LoadLocal {
+			loadCount[in.A]++
+		}
+	}
+	patternSlots := map[int]bool{}
+	var mark func(pat *ir.Pat)
+	mark = func(pat *ir.Pat) {
+		if pat == nil {
+			return
+		}
+		if pat.Kind == ir.PatBind || pat.Kind == ir.PatDynEq {
+			patternSlots[pat.Slot] = true
+		}
+		for _, e := range pat.Elems {
+			mark(e)
+		}
+	}
+	for _, port := range p.Ports {
+		mark(port.Pat)
+	}
+
+	changed := false
+	for pc := 0; pc+1 < len(p.Code); pc++ {
+		a, b := p.Code[pc], p.Code[pc+1]
+		// "LoadLocal x; CastCopy" with x dead after (its only load).
+		if a.Op == ir.LoadLocal && b.Op == ir.CastCopy &&
+			loadCount[a.A] == 1 && !patternSlots[a.A] {
+			p.Code[pc+1].Op = ir.CastReuse
+			changed = true
+		}
+		// "Dup; StoreLocal x; CastCopy" (copy-prop residue) with x never
+		// loaded at all.
+		if pc+2 < len(p.Code) && a.Op == ir.Dup && b.Op == ir.StoreLocal &&
+			p.Code[pc+2].Op == ir.CastCopy &&
+			loadCount[b.A] == 0 && !patternSlots[b.A] {
+			p.Code[pc+2].Op = ir.CastReuse
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------------
+// Dead code elimination
+
+// removeUnreachable drops instructions not reachable from any entry
+// point.
+func removeUnreachable(p *ir.Proc) bool {
+	reach := make([]bool, len(p.Code))
+	var stack []int
+	push := func(pc int) {
+		if pc >= 0 && pc < len(p.Code) && !reach[pc] {
+			reach[pc] = true
+			stack = append(stack, pc)
+		}
+	}
+	for _, pc := range entryPoints(p) {
+		push(pc)
+	}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		in := p.Code[pc]
+		switch in.Op {
+		case ir.Jump:
+			push(in.A)
+		case ir.JumpIfFalse, ir.JumpIfTrue:
+			push(in.A)
+			push(pc + 1)
+		case ir.Halt, ir.Alt:
+			// no fall-through (alt arms are entry points)
+		default:
+			push(pc + 1)
+		}
+	}
+	changed := false
+	for pc := range p.Code {
+		if !reach[pc] {
+			changed = true
+		}
+	}
+	if changed {
+		rebuild(p, reach)
+	}
+	return changed
+}
+
+// compactNops removes Nop instructions (making sure any reference to a
+// Nop's pc re-points at its successor, which rebuild's remap does
+// naturally because the Nop is dropped).
+func compactNops(p *ir.Proc) bool {
+	keep := make([]bool, len(p.Code))
+	changed := false
+	for pc, in := range p.Code {
+		keep[pc] = in.Op != ir.Nop
+		if in.Op == ir.Nop {
+			changed = true
+		}
+	}
+	if changed {
+		rebuild(p, keep)
+	}
+	return changed
+}

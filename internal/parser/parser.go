@@ -1,0 +1,647 @@
+// Package parser implements a recursive-descent parser for ESP source.
+//
+// The grammar follows the paper's examples (PLDI 2001, §4 and Appendix B)
+// with the small clarifications documented in the repository README:
+//
+//	program   = { typeDecl | constDecl | channelDecl | interfaceDecl | processDecl } .
+//	typeDecl  = "type" IDENT "=" type .
+//	constDecl = "const" IDENT "=" ["-"] INT ";" .
+//	channelDecl = "channel" IDENT ":" type [ "external" ("reader"|"writer") ] .
+//	interfaceDecl = "interface" IDENT "(" ("in"|"out") IDENT ")"
+//	                "{" IDENT "(" pattern ")" { "," IDENT "(" pattern ")" } [","] "}" .
+//	processDecl = "process" IDENT block .
+//	type      = ["#"] ( "int" | "bool" | IDENT
+//	          | "record" "of" "{" fields "}"
+//	          | "union"  "of" "{" fields "}"
+//	          | "array"  "of" type [ "[" INT "]" ] ) .
+//	stmt      = varDecl | assign | while | if | alt | comm ";" | link ";"
+//	          | unlink ";" | assert ";" | "skip" ";" | "break" ";" | block .
+//
+// Expressions use C precedence; composite literals distinguish records
+// "{e, e}", unions "{f |> e}", and arrays "{n -> e [, ...]}" by one-token
+// lookahead after the first element.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"esplang/internal/ast"
+	"esplang/internal/lexer"
+	"esplang/internal/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of syntax errors implementing error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// maxErrors bounds error accumulation before the parser bails out.
+const maxErrors = 20
+
+// bailout is panicked when too many errors accumulate.
+var bailout = errors.New("too many errors")
+
+// Parse parses a complete ESP program. On failure it returns the partial
+// tree and an ErrorList.
+func Parse(src []byte) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src)}
+	p.next()
+	prog := &ast.Program{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != bailout { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		for p.tok.Kind != token.EOF {
+			d := p.decl()
+			if d != nil {
+				prog.Decls = append(prog.Decls, d)
+			}
+		}
+	}()
+	for _, le := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	p := &parser{lex: lexer.New([]byte(src))}
+	p.next()
+	var e ast.Expr
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != bailout { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		e = p.expr()
+		p.expect(token.EOF)
+	}()
+	if len(p.errs) > 0 {
+		return e, p.errs
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token
+	errs ErrorList
+}
+
+func (p *parser) next() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	if len(p.errs) >= maxErrors {
+		panic(bailout)
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %q, found %s", k.String(), t)
+		// Do not consume: let callers resynchronize.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() *ast.Ident {
+	t := p.expect(token.IDENT)
+	return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+}
+
+// sync skips tokens until a likely declaration start, for error recovery.
+func (p *parser) sync() {
+	for {
+		switch p.tok.Kind {
+		case token.EOF, token.TYPE, token.CHANNEL, token.PROCESS, token.INTERFACE, token.CONST:
+			return
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) decl() ast.Decl {
+	switch p.tok.Kind {
+	case token.TYPE:
+		return p.typeDecl()
+	case token.CONST:
+		return p.constDecl()
+	case token.CHANNEL:
+		return p.channelDecl()
+	case token.INTERFACE:
+		return p.interfaceDecl()
+	case token.PROCESS:
+		return p.processDecl()
+	default:
+		p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+		p.sync()
+		return nil
+	}
+}
+
+func (p *parser) typeDecl() *ast.TypeDecl {
+	pos := p.expect(token.TYPE).Pos
+	name := p.ident()
+	p.expect(token.ASSIGN)
+	t := p.typeExpr()
+	p.accept(token.SEMICOLON) // optional after type decls
+	return &ast.TypeDecl{TokPos: pos, Name: name, Type: t}
+}
+
+func (p *parser) constDecl() *ast.ConstDecl {
+	pos := p.expect(token.CONST).Pos
+	name := p.ident()
+	p.expect(token.ASSIGN)
+	neg := p.accept(token.SUB)
+	t := p.expect(token.INT)
+	v, err := strconv.ParseInt(t.Lit, 10, 64)
+	if err != nil {
+		p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+	}
+	if neg {
+		v = -v
+	}
+	p.expect(token.SEMICOLON)
+	return &ast.ConstDecl{TokPos: pos, Name: name, Value: v}
+}
+
+func (p *parser) channelDecl() *ast.ChannelDecl {
+	pos := p.expect(token.CHANNEL).Pos
+	name := p.ident()
+	p.expect(token.COLON)
+	t := p.typeExpr()
+	ext := ast.ExtNone
+	if p.accept(token.EXTERNAL) {
+		switch p.tok.Kind {
+		case token.READER:
+			ext = ast.ExtReader
+			p.next()
+		case token.WRITER:
+			ext = ast.ExtWriter
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "expected 'reader' or 'writer' after 'external', found %s", p.tok)
+		}
+	}
+	p.accept(token.SEMICOLON)
+	return &ast.ChannelDecl{TokPos: pos, Name: name, Elem: t, Ext: ext}
+}
+
+func (p *parser) interfaceDecl() *ast.InterfaceDecl {
+	pos := p.expect(token.INTERFACE).Pos
+	name := p.ident()
+	p.expect(token.LPAREN)
+	dir := p.tok.Kind
+	if dir != token.IN && dir != token.OUT {
+		p.errorf(p.tok.Pos, "expected 'in' or 'out' in interface declaration, found %s", p.tok)
+		dir = token.OUT
+	} else {
+		p.next()
+	}
+	ch := p.ident()
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+	var cases []ast.IfaceCase
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		cn := p.ident()
+		p.expect(token.LPAREN)
+		pat := p.expr()
+		p.expect(token.RPAREN)
+		cases = append(cases, ast.IfaceCase{Name: cn, Pattern: pat})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RBRACE)
+	return &ast.InterfaceDecl{TokPos: pos, Name: name, Dir: dir, Chan: ch, Cases: cases}
+}
+
+func (p *parser) processDecl() *ast.ProcessDecl {
+	pos := p.expect(token.PROCESS).Pos
+	name := p.ident()
+	body := p.block()
+	return &ast.ProcessDecl{TokPos: pos, Name: name, Body: body}
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+func (p *parser) typeExpr() ast.TypeExpr {
+	pos := p.tok.Pos
+	mutable := p.accept(token.HASH)
+	switch p.tok.Kind {
+	case token.INTTYPE, token.BOOLTYPE:
+		k := p.tok.Kind
+		if mutable {
+			p.errorf(pos, "primitive types cannot be mutable ('#')")
+		}
+		p.next()
+		return &ast.PrimType{TokPos: pos, Kind: k}
+	case token.IDENT:
+		if mutable {
+			p.errorf(pos, "'#' applies to record/union/array type literals, not type names")
+		}
+		t := p.tok
+		p.next()
+		return &ast.NamedType{NamePos: t.Pos, Name: t.Lit}
+	case token.RECORD:
+		p.next()
+		p.expect(token.OF)
+		fields := p.fieldList()
+		return &ast.RecordType{TokPos: pos, Mutable: mutable, Fields: fields}
+	case token.UNION:
+		p.next()
+		p.expect(token.OF)
+		fields := p.fieldList()
+		return &ast.UnionType{TokPos: pos, Mutable: mutable, Fields: fields}
+	case token.ARRAY:
+		p.next()
+		p.expect(token.OF)
+		elem := p.typeExpr()
+		var bound int64
+		if p.accept(token.LBRACK) {
+			t := p.expect(token.INT)
+			v, err := strconv.ParseInt(t.Lit, 10, 64)
+			if err != nil || v <= 0 {
+				p.errorf(t.Pos, "array bound must be a positive integer, got %q", t.Lit)
+			}
+			bound = v
+			p.expect(token.RBRACK)
+		}
+		return &ast.ArrayType{TokPos: pos, Mutable: mutable, Elem: elem, Bound: bound}
+	default:
+		p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+		p.next()
+		return &ast.PrimType{TokPos: pos, Kind: token.INTTYPE}
+	}
+}
+
+func (p *parser) fieldList() []ast.FieldDef {
+	p.expect(token.LBRACE)
+	var fields []ast.FieldDef
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		if p.accept(token.ELLIPSIS) { // the paper elides trailing fields with "..."
+			break
+		}
+		name := p.ident()
+		p.expect(token.COLON)
+		t := p.typeExpr()
+		fields = append(fields, ast.FieldDef{Name: name, Type: t})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RBRACE)
+	return fields
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) block() *ast.Block {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.Block{TokPos: pos}
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		b.Stmts = append(b.Stmts, p.stmt())
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) stmt() ast.Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.WHILE:
+		p.next()
+		var cond ast.Expr
+		if p.accept(token.LPAREN) {
+			cond = p.expr()
+			p.expect(token.RPAREN)
+		}
+		body := p.block()
+		return &ast.While{TokPos: pos, Cond: cond, Body: body}
+	case token.IF:
+		return p.ifStmt()
+	case token.ALT:
+		return p.altStmt()
+	case token.IN, token.OUT:
+		c := p.commOp()
+		p.expect(token.SEMICOLON)
+		return c
+	case token.LINK:
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.expr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMICOLON)
+		return &ast.Link{TokPos: pos, X: x}
+	case token.UNLINK:
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.expr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMICOLON)
+		return &ast.Unlink{TokPos: pos, X: x}
+	case token.ASSERT:
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.expr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMICOLON)
+		return &ast.Assert{TokPos: pos, X: x}
+	case token.SKIP:
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.Skip{TokPos: pos}
+	case token.BREAK:
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.BreakStmt{TokPos: pos}
+	case token.DOLLAR:
+		p.next()
+		name := p.ident()
+		var t ast.TypeExpr
+		if p.accept(token.COLON) {
+			t = p.typeExpr()
+		}
+		p.expect(token.ASSIGN)
+		init := p.expr()
+		p.expect(token.SEMICOLON)
+		return &ast.VarDecl{TokPos: pos, Name: name, Type: t, Init: init}
+	default:
+		// Assignment or pattern-match statement: lhs "=" rhs ";".
+		lhs := p.expr()
+		if p.tok.Kind != token.ASSIGN {
+			p.errorf(p.tok.Pos, "expected statement, found %s after expression", p.tok)
+			// Swallow the offending token to guarantee progress.
+			if p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+				p.next()
+			}
+			return &ast.Skip{TokPos: pos}
+		}
+		p.next()
+		rhs := p.expr()
+		p.expect(token.SEMICOLON)
+		return &ast.Assign{TokPos: pos, LHS: lhs, RHS: rhs}
+	}
+}
+
+func (p *parser) ifStmt() *ast.If {
+	pos := p.expect(token.IF).Pos
+	p.expect(token.LPAREN)
+	cond := p.expr()
+	p.expect(token.RPAREN)
+	then := p.block()
+	var els ast.Stmt
+	if p.accept(token.ELSE) {
+		if p.tok.Kind == token.IF {
+			els = p.ifStmt()
+		} else {
+			els = p.block()
+		}
+	}
+	return &ast.If{TokPos: pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *parser) altStmt() *ast.Alt {
+	pos := p.expect(token.ALT).Pos
+	p.expect(token.LBRACE)
+	a := &ast.Alt{TokPos: pos}
+	for p.tok.Kind == token.CASE {
+		cpos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		var guard ast.Expr
+		var comm *ast.Comm
+		if p.tok.Kind == token.IN || p.tok.Kind == token.OUT {
+			comm = p.commOp()
+		} else {
+			guard = p.expr()
+			p.expect(token.COMMA)
+			comm = p.commOp()
+		}
+		p.expect(token.RPAREN)
+		body := p.block()
+		a.Cases = append(a.Cases, &ast.AltCase{TokPos: cpos, Guard: guard, Comm: comm, Body: body})
+	}
+	p.expect(token.RBRACE)
+	if len(a.Cases) == 0 {
+		p.errorf(pos, "alt statement requires at least one case")
+	}
+	return a
+}
+
+func (p *parser) commOp() *ast.Comm {
+	pos := p.tok.Pos
+	dir := ast.Recv
+	if p.tok.Kind == token.OUT {
+		dir = ast.Send
+	} else if p.tok.Kind != token.IN {
+		p.errorf(pos, "expected 'in' or 'out', found %s", p.tok)
+	}
+	p.next()
+	p.expect(token.LPAREN)
+	ch := p.ident()
+	p.expect(token.COMMA)
+	arg := p.expr()
+	p.expect(token.RPAREN)
+	return &ast.Comm{TokPos: pos, Dir: dir, Chan: ch, Arg: arg}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) expr() ast.Expr { return p.binaryExpr(1) }
+
+func (p *parser) binaryExpr(minPrec int) ast.Expr {
+	x := p.unaryExpr()
+	for {
+		op := p.tok.Kind
+		prec := op.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		pos := p.tok.Pos
+		p.next()
+		y := p.binaryExpr(prec + 1)
+		x = &ast.Binary{TokPos: pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) unaryExpr() ast.Expr {
+	switch p.tok.Kind {
+	case token.NOT, token.SUB:
+		pos := p.tok.Pos
+		op := p.tok.Kind
+		p.next()
+		return &ast.Unary{TokPos: pos, Op: op, X: p.unaryExpr()}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() ast.Expr {
+	x := p.primaryExpr()
+	for {
+		switch p.tok.Kind {
+		case token.LBRACK:
+			pos := p.tok.Pos
+			p.next()
+			i := p.expr()
+			p.expect(token.RBRACK)
+			x = &ast.Index{TokPos: pos, X: x, I: i}
+		case token.DOT:
+			pos := p.tok.Pos
+			p.next()
+			name := p.ident()
+			x = &ast.FieldSel{TokPos: pos, X: x, Name: name}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) primaryExpr() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.INT:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{TokPos: pos, Value: v}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{TokPos: pos, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{TokPos: pos, Value: false}
+	case token.AT:
+		p.next()
+		return &ast.Self{TokPos: pos}
+	case token.DOLLAR:
+		p.next()
+		name := p.ident()
+		return &ast.Binding{TokPos: pos, Name: name}
+	case token.IDENT:
+		t := p.tok
+		if t.Lit == "_" {
+			p.next()
+			return &ast.Wildcard{TokPos: pos}
+		}
+		p.next()
+		return &ast.Ident{NamePos: pos, Name: t.Lit}
+	case token.MUTABLE, token.IMMUTABLE:
+		toMut := p.tok.Kind == token.MUTABLE
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.expr()
+		p.expect(token.RPAREN)
+		return &ast.Cast{TokPos: pos, ToMutable: toMut, X: x}
+	case token.LPAREN:
+		p.next()
+		x := p.expr()
+		p.expect(token.RPAREN)
+		return x
+	case token.HASH:
+		p.next()
+		if p.tok.Kind != token.LBRACE {
+			p.errorf(p.tok.Pos, "expected composite literal after '#', found %s", p.tok)
+			return &ast.IntLit{TokPos: pos}
+		}
+		return p.compositeLit(pos, true)
+	case token.LBRACE:
+		return p.compositeLit(pos, false)
+	default:
+		p.errorf(pos, "expected expression, found %s", p.tok)
+		if p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF &&
+			p.tok.Kind != token.SEMICOLON && p.tok.Kind != token.RPAREN {
+			p.next()
+		}
+		return &ast.IntLit{TokPos: pos}
+	}
+}
+
+// compositeLit parses "{...}" after an optional '#'. It distinguishes
+// union literals "{ f |> e }", array literals "{ n -> e [, ...] }", and
+// record literals "{ e, e, ... }" by the token following the first element.
+func (p *parser) compositeLit(pos token.Pos, mutable bool) ast.Expr {
+	p.expect(token.LBRACE)
+	if p.accept(token.RBRACE) {
+		p.errorf(pos, "empty composite literal")
+		return &ast.RecordLit{TokPos: pos, Mutable: mutable}
+	}
+	first := p.expr()
+
+	switch p.tok.Kind {
+	case token.PIPEGT:
+		p.next()
+		id, ok := first.(*ast.Ident)
+		if !ok {
+			p.errorf(first.Pos(), "union field name must be an identifier")
+			id = &ast.Ident{NamePos: first.Pos(), Name: "_invalid"}
+		}
+		val := p.expr()
+		p.expect(token.RBRACE)
+		return &ast.UnionLit{TokPos: pos, Mutable: mutable, Field: id, Value: val}
+	case token.ARROW:
+		p.next()
+		init := p.expr()
+		if p.accept(token.COMMA) {
+			p.accept(token.ELLIPSIS) // "{ N -> 0, ... }" trailing ellipsis
+		}
+		p.expect(token.RBRACE)
+		return &ast.ArrayLit{TokPos: pos, Mutable: mutable, Count: first, Init: init}
+	default:
+		lit := &ast.RecordLit{TokPos: pos, Mutable: mutable, Elems: []ast.Expr{first}}
+		for p.accept(token.COMMA) {
+			if p.accept(token.ELLIPSIS) {
+				break
+			}
+			lit.Elems = append(lit.Elems, p.expr())
+		}
+		p.expect(token.RBRACE)
+		return lit
+	}
+}

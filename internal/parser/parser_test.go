@@ -1,0 +1,370 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+func TestParseAdd5(t *testing.T) {
+	prog := parseOK(t, `
+channel chan1: int
+channel chan2: int
+process add5 {
+    while (true) {
+        in( chan1, $i);
+        out( chan2, i+5);
+    }
+}
+`)
+	if len(prog.Decls) != 3 {
+		t.Fatalf("got %d decls, want 3", len(prog.Decls))
+	}
+	p, ok := prog.Decls[2].(*ast.ProcessDecl)
+	if !ok {
+		t.Fatalf("decl 2 is %T, want *ProcessDecl", prog.Decls[2])
+	}
+	if p.Name.Name != "add5" {
+		t.Errorf("process name %q, want add5", p.Name.Name)
+	}
+	w, ok := p.Body.Stmts[0].(*ast.While)
+	if !ok {
+		t.Fatalf("first stmt is %T, want *While", p.Body.Stmts[0])
+	}
+	if len(w.Body.Stmts) != 2 {
+		t.Fatalf("while body has %d stmts, want 2", len(w.Body.Stmts))
+	}
+	recv, ok := w.Body.Stmts[0].(*ast.Comm)
+	if !ok || recv.Dir != ast.Recv {
+		t.Fatalf("stmt 0 = %#v, want in comm", w.Body.Stmts[0])
+	}
+	if _, ok := recv.Arg.(*ast.Binding); !ok {
+		t.Errorf("in pattern is %T, want *Binding", recv.Arg)
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	prog := parseOK(t, `
+type sendT = record of { dest: int, vAddr: int, size: int}
+type updateT = record of { vAddr: int, pAddr: int}
+type userT = union of { send: sendT, update: updateT}
+type dataT = array of int
+type tblT = #array of int [64]
+`)
+	if len(prog.Decls) != 5 {
+		t.Fatalf("got %d decls, want 5", len(prog.Decls))
+	}
+	rt := prog.Decls[0].(*ast.TypeDecl).Type.(*ast.RecordType)
+	if len(rt.Fields) != 3 || rt.Fields[0].Name.Name != "dest" {
+		t.Errorf("sendT fields wrong: %+v", rt.Fields)
+	}
+	ut := prog.Decls[2].(*ast.TypeDecl).Type.(*ast.UnionType)
+	if len(ut.Fields) != 2 {
+		t.Errorf("userT fields wrong: %+v", ut.Fields)
+	}
+	at := prog.Decls[4].(*ast.TypeDecl).Type.(*ast.ArrayType)
+	if !at.Mutable || at.Bound != 64 {
+		t.Errorf("tblT = %+v, want mutable bound 64", at)
+	}
+}
+
+func TestParseTypeEllipsisFields(t *testing.T) {
+	// The paper writes "union of { send: sendT, update: updateT, ...}".
+	prog := parseOK(t, `type userT = union of { send: int, update: bool, ...}`)
+	ut := prog.Decls[0].(*ast.TypeDecl).Type.(*ast.UnionType)
+	if len(ut.Fields) != 2 {
+		t.Errorf("got %d fields, want 2", len(ut.Fields))
+	}
+}
+
+func TestParseCompositeLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // printed form
+	}{
+		{"{ 7, 54677, 1024}", "{ 7, 54677, 1024}"},
+		{"{ send |> sr}", "{ send |> sr}"},
+		{"{ send |> { 5, 10000, 512}}", "{ send |> { 5, 10000, 512}}"},
+		{"#{ 64 -> 0, ... }", "#{ 64 -> 0}"},
+		{"{ TABLE_SIZE -> 0 }", "{ TABLE_SIZE -> 0}"},
+		{"{ @, vAddr}", "{ @, vAddr}"},
+		{"{ send |> { $dest, $vAddr, $size}}", "{ send |> { $dest, $vAddr, $size}}"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		if got := ast.PrintExpr(e); got != tt.want {
+			t.Errorf("ParseExpr(%q) prints %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct {
+		src, want string
+	}{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"a && b || c", "a && b || c"},
+		{"a || b && c", "a || b && c"},
+		{"!a && b", "!a && b"},
+		{"!(a && b)", "!(a && b)"},
+		{"-a + b", "-a + b"},
+		{"a == b + 1", "a == b + 1"},
+		{"a[i].f + 1", "a[i].f + 1"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		if got := ast.PrintExpr(e); got != tt.want {
+			t.Errorf("ParseExpr(%q) prints %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseAlt(t *testing.T) {
+	prog := parseOK(t, `
+channel chan1: int
+channel chan2: int
+process fifo {
+    $hd = 0;
+    $tl = 0;
+    $q: #array of int = #{ 8 -> 0};
+    while (true) {
+        alt {
+            case( !(tl - hd == 8), in( chan1, $v)) { q[tl % 8] = v; tl = tl + 1; }
+            case( !(tl == hd), out( chan2, q[hd % 8])) { hd = hd + 1; }
+        }
+    }
+}
+`)
+	p := prog.Decls[2].(*ast.ProcessDecl)
+	w := p.Body.Stmts[3].(*ast.While)
+	a := w.Body.Stmts[0].(*ast.Alt)
+	if len(a.Cases) != 2 {
+		t.Fatalf("alt has %d cases, want 2", len(a.Cases))
+	}
+	if a.Cases[0].Guard == nil || a.Cases[1].Guard == nil {
+		t.Error("alt guards missing")
+	}
+	if a.Cases[0].Comm.Dir != ast.Recv || a.Cases[1].Comm.Dir != ast.Send {
+		t.Error("alt case directions wrong")
+	}
+}
+
+func TestParseAltWithoutGuard(t *testing.T) {
+	prog := parseOK(t, `
+channel c: int
+process p {
+    alt {
+        case( in( c, $v)) { skip; }
+    }
+}
+`)
+	a := prog.Decls[1].(*ast.ProcessDecl).Body.Stmts[0].(*ast.Alt)
+	if a.Cases[0].Guard != nil {
+		t.Error("expected nil guard")
+	}
+}
+
+func TestParseInterface(t *testing.T) {
+	prog := parseOK(t, `
+type userT = union of { send: int, update: bool}
+channel userReqC: userT external writer
+interface userReq( out userReqC) {
+    Send( { send |> $v}),
+    Update( { update |> $b}),
+}
+`)
+	ch := prog.Decls[1].(*ast.ChannelDecl)
+	if ch.Ext != ast.ExtWriter {
+		t.Errorf("channel ext = %v, want external writer", ch.Ext)
+	}
+	ifc := prog.Decls[2].(*ast.InterfaceDecl)
+	if len(ifc.Cases) != 2 || ifc.Cases[0].Name.Name != "Send" {
+		t.Errorf("interface cases wrong: %+v", ifc.Cases)
+	}
+}
+
+func TestParsePaperAppendixB(t *testing.T) {
+	// Essentially Appendix B of the paper, adjusted only for the documented
+	// syntax clarifications (|> for the OCR'd "I>").
+	src := `
+type dataT = array of int
+type sendT = record of { dest: int, vAddr: int, size: int}
+type updateT = record of { vAddr: int, pAddr: int}
+type userT = union of { send: sendT, update: updateT}
+
+const TABLE_SIZE = 16;
+
+channel ptReqC: record of { ret: int, vAddr: int}
+channel ptReplyC: record of { ret: int, pAddr: int}
+channel dmaReqC: record of { ret: int, pAddr: int, size: int}
+channel dmaDataC: record of { ret: int, data: dataT}
+channel SM2C: record of { dest: int, data: dataT}
+channel userReqC: userT external writer
+
+process pageTable {
+    $table: #array of int = #{ TABLE_SIZE -> 0, ... };
+    while (true) {
+        alt {
+            case( in( ptReqC, { $ret, $vAddr})) {
+                out( ptReplyC, { ret, table[vAddr]});
+            }
+            case( in( userReqC, { update |> { $vAddr, $pAddr}})) {
+                table[vAddr] = pAddr;
+            }
+        }
+    }
+}
+
+process SM1 {
+    while (true) {
+        in( userReqC, { send |> { $dest, $vAddr, $size}});
+        out( ptReqC, { @, vAddr});
+        in( ptReplyC, { @, $pAddr});
+        out( dmaReqC, { @, pAddr, size});
+        in( dmaDataC, { @, $sendData});
+        out( SM2C, { dest, sendData});
+        unlink( sendData);
+    }
+}
+`
+	prog := parseOK(t, src)
+	var procs, chans int
+	for _, d := range prog.Decls {
+		switch d.(type) {
+		case *ast.ProcessDecl:
+			procs++
+		case *ast.ChannelDecl:
+			chans++
+		}
+	}
+	if procs != 2 || chans != 6 {
+		t.Errorf("got %d processes and %d channels, want 2 and 6", procs, chans)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+type sendT = record of { dest: int, vAddr: int, size: int}
+const N = 4;
+channel c: sendT
+channel d: int external reader
+process p {
+    $x: int = 7;
+    $b = true;
+    if (x > 3) {
+        out( c, { x, 0, 1});
+    } else {
+        skip;
+    }
+    while (b) {
+        in( d, $y);
+        x = x + y;
+        if (x > 100) {
+            break;
+        }
+    }
+    assert( x >= 7);
+}
+`
+	prog := parseOK(t, src)
+	printed := ast.Print(prog)
+	prog2, err := Parse([]byte(printed))
+	if err != nil {
+		t.Fatalf("reparse of printed program failed: %v\nprinted:\n%s", err, printed)
+	}
+	printed2 := ast.Print(prog2)
+	if printed != printed2 {
+		t.Errorf("print not stable:\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"process p {",                      // unterminated block
+		"process p { in(c); }",             // missing pattern
+		"type t = record of { x int }",     // missing colon
+		"channel c: int external bogus",    // bad external dir
+		"process p { alt { } }",            // empty alt
+		"process p { x + 1; }",             // expression is not a statement
+		"process p { $x = ; }",             // missing initializer
+		"bogus",                            // not a declaration
+		"process p { out(c, {}); }",        // empty composite
+		"interface i( sideways c) { A(x)}", // bad direction
+	}
+	for _, src := range tests {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParseErrorMentionsPosition(t *testing.T) {
+	_, err := Parse([]byte("process p {\n  $x = ;\n}"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q does not mention line 2", err)
+	}
+}
+
+func TestParserRecoversAcrossDecls(t *testing.T) {
+	// An error in the first process must not prevent parsing the second.
+	prog, err := Parse([]byte(`
+process bad { ??? }
+process good { skip; }
+`))
+	if err == nil {
+		t.Fatal("expected error from bad process")
+	}
+	var names []string
+	for _, d := range prog.Decls {
+		if p, ok := d.(*ast.ProcessDecl); ok {
+			names = append(names, p.Name.Name)
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == "good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recovery failed; parsed processes: %v", names)
+	}
+}
+
+func TestWhileSugar(t *testing.T) {
+	// "while { ... }" is sugar for while(true) (§4.2 FIFO example).
+	prog := parseOK(t, `
+channel c: int
+process p {
+    while {
+        in( c, $v);
+    }
+}
+`)
+	w := prog.Decls[1].(*ast.ProcessDecl).Body.Stmts[0].(*ast.While)
+	if w.Cond != nil {
+		t.Error("while{} should have nil condition")
+	}
+}

@@ -1,0 +1,105 @@
+// Package sim is a minimal discrete-event simulation kernel used by the
+// Myrinet NIC model. Time is in nanoseconds; events at equal times fire
+// in scheduling order (deterministic).
+package sim
+
+import (
+	"container/heap"
+)
+
+// Kernel is an event queue with a clock.
+type Kernel struct {
+	now int64
+	seq int64
+	pq  eventQueue
+}
+
+// New returns a kernel at time 0.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time in nanoseconds.
+func (k *Kernel) Now() int64 { return k.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (k *Kernel) At(t int64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.pq, &event{time: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (k *Kernel) After(d int64, fn func()) {
+	k.At(k.now+d, fn)
+}
+
+// Step fires the next event; it reports whether one existed.
+func (k *Kernel) Step() bool {
+	if k.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.pq).(*event)
+	k.now = ev.time
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or the predicate (when
+// non-nil) returns true. It returns the number of events fired.
+func (k *Kernel) Run(stop func() bool) int {
+	n := 0
+	for {
+		if stop != nil && stop() {
+			return n
+		}
+		if !k.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// RunUntil fires events with time <= t, then sets the clock to t.
+func (k *Kernel) RunUntil(t int64) int {
+	n := 0
+	for k.pq.Len() > 0 && k.pq[0].time <= t {
+		k.Step()
+		n++
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.pq.Len() }
+
+type event struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run(nil)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("clock = %d, want 30", k.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run(nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	k := New()
+	var times []int64
+	k.After(10, func() {
+		times = append(times, k.Now())
+		k.After(5, func() {
+			times = append(times, k.Now())
+		})
+	})
+	k.Run(nil)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	k := New()
+	k.At(100, func() {
+		k.At(50, func() {
+			if k.Now() != 100 {
+				t.Errorf("past event fired at %d", k.Now())
+			}
+		})
+	})
+	k.Run(nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	fired := 0
+	k.At(10, func() { fired++ })
+	k.At(20, func() { fired++ })
+	k.At(30, func() { fired++ })
+	n := k.RunUntil(20)
+	if n != 2 || fired != 2 {
+		t.Errorf("fired %d events (returned %d), want 2", fired, n)
+	}
+	if k.Now() != 20 {
+		t.Errorf("clock = %d, want 20", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestRunStopPredicate(t *testing.T) {
+	k := New()
+	fired := 0
+	for i := int64(1); i <= 10; i++ {
+		k.At(i, func() { fired++ })
+	}
+	k.Run(func() bool { return fired >= 3 })
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	k := New()
+	if k.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestMonotonicClockProperty(t *testing.T) {
+	// Property: however events are scheduled, the clock never goes
+	// backwards while running them.
+	f := func(delays []uint16) bool {
+		k := New()
+		last := int64(-1)
+		ok := true
+		for _, d := range delays {
+			k.At(int64(d), func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run(nil)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

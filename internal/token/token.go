@@ -1,0 +1,261 @@
+// Package token defines the lexical tokens of the ESP language and
+// source positions used across the compiler.
+//
+// ESP (Event-driven State-machines Programming, PLDI 2001) has a C-style
+// syntax with a few distinctive tokens: '$' introduces a variable binding,
+// '#' marks mutable allocations and types, '|>' selects a union field in
+// literals and patterns, '@' denotes the current process id, and '->' is
+// used inside array allocation literals ("{ N -> init }").
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of lexical token kinds.
+const (
+	// Special tokens.
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT // pageTable
+	INT   // 12345
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN // =
+	DOLLAR // $
+	HASH   // #
+	AT     // @
+	PIPEGT // |>
+	ARROW  // ->
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	DOT       // .
+	ELLIPSIS  // ...
+
+	// Keywords.
+	keywordBeg
+	TYPE      // type
+	CHANNEL   // channel
+	PROCESS   // process
+	INTERFACE // interface
+	CONST     // const
+	RECORD    // record
+	UNION     // union
+	ARRAY     // array
+	OF        // of
+	IN        // in
+	OUT       // out
+	ALT       // alt
+	CASE      // case
+	WHILE     // while
+	IF        // if
+	ELSE      // else
+	LINK      // link
+	UNLINK    // unlink
+	ASSERT    // assert
+	SKIP      // skip
+	TRUE      // true
+	FALSE     // false
+	BREAK     // break
+	MUTABLE   // mutable
+	IMMUTABLE // immutable
+	EXTERNAL  // external
+	READER    // reader
+	WRITER    // writer
+	INTTYPE   // int
+	BOOLTYPE  // bool
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+
+	IDENT: "IDENT",
+	INT:   "INT",
+
+	ADD: "+",
+	SUB: "-",
+	MUL: "*",
+	QUO: "/",
+	REM: "%",
+
+	LAND: "&&",
+	LOR:  "||",
+	NOT:  "!",
+
+	EQL: "==",
+	NEQ: "!=",
+	LSS: "<",
+	LEQ: "<=",
+	GTR: ">",
+	GEQ: ">=",
+
+	ASSIGN: "=",
+	DOLLAR: "$",
+	HASH:   "#",
+	AT:     "@",
+	PIPEGT: "|>",
+	ARROW:  "->",
+
+	LPAREN: "(",
+	RPAREN: ")",
+	LBRACE: "{",
+	RBRACE: "}",
+	LBRACK: "[",
+	RBRACK: "]",
+
+	COMMA:     ",",
+	SEMICOLON: ";",
+	COLON:     ":",
+	DOT:       ".",
+	ELLIPSIS:  "...",
+
+	TYPE:      "type",
+	CHANNEL:   "channel",
+	PROCESS:   "process",
+	INTERFACE: "interface",
+	CONST:     "const",
+	RECORD:    "record",
+	UNION:     "union",
+	ARRAY:     "array",
+	OF:        "of",
+	IN:        "in",
+	OUT:       "out",
+	ALT:       "alt",
+	CASE:      "case",
+	WHILE:     "while",
+	IF:        "if",
+	ELSE:      "else",
+	LINK:      "link",
+	UNLINK:    "unlink",
+	ASSERT:    "assert",
+	SKIP:      "skip",
+	TRUE:      "true",
+	FALSE:     "false",
+	BREAK:     "break",
+	MUTABLE:   "mutable",
+	IMMUTABLE: "immutable",
+	EXTERNAL:  "external",
+	READER:    "reader",
+	WRITER:    "writer",
+	INTTYPE:   "int",
+	BOOLTYPE:  "bool",
+}
+
+// String returns the textual representation of the token kind: the
+// operator or keyword spelling where one exists, otherwise a symbolic name.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords map[string]Kind
+
+func init() {
+	keywords = make(map[string]Kind, keywordEnd-keywordBeg)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		keywords[names[k]] = k
+	}
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsLiteral reports whether the kind is an identifier or basic literal.
+func (k Kind) IsLiteral() bool { return k == IDENT || k == INT || k == TRUE || k == FALSE }
+
+// Precedence returns the binary-operator precedence of the kind, or 0 if
+// the kind is not a binary operator. Higher binds tighter.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ, LSS, LEQ, GTR, GEQ:
+		return 3
+	case ADD, SUB:
+		return 4
+	case MUL, QUO, REM:
+		return 5
+	}
+	return 0
+}
+
+// Pos is a source position: byte offset, 1-based line and column.
+type Pos struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// IsValid reports whether the position carries line information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String formats the position as "line:col".
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Column)
+}
+
+// Token is a single lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Lit  string // literal text for IDENT, INT, COMMENT, ILLEGAL
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch {
+	case t.Kind == IDENT, t.Kind == INT, t.Kind == ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

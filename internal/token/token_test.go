@@ -1,0 +1,104 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"process":   PROCESS,
+		"channel":   CHANNEL,
+		"type":      TYPE,
+		"interface": INTERFACE,
+		"const":     CONST,
+		"record":    RECORD,
+		"union":     UNION,
+		"array":     ARRAY,
+		"of":        OF,
+		"in":        IN,
+		"out":       OUT,
+		"alt":       ALT,
+		"case":      CASE,
+		"while":     WHILE,
+		"if":        IF,
+		"else":      ELSE,
+		"link":      LINK,
+		"unlink":    UNLINK,
+		"assert":    ASSERT,
+		"skip":      SKIP,
+		"true":      TRUE,
+		"false":     FALSE,
+		"break":     BREAK,
+		"mutable":   MUTABLE,
+		"immutable": IMMUTABLE,
+		"external":  EXTERNAL,
+		"reader":    READER,
+		"writer":    WRITER,
+		"int":       INTTYPE,
+		"bool":      BOOLTYPE,
+		"foo":       IDENT,
+		"Process":   IDENT, // keywords are case-sensitive
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestKeywordPredicates(t *testing.T) {
+	if !PROCESS.IsKeyword() || IDENT.IsKeyword() || ADD.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+	if !IDENT.IsLiteral() || !INT.IsLiteral() || ADD.IsLiteral() {
+		t.Error("IsLiteral misclassifies")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// || < && < comparisons < additive < multiplicative.
+	chain := [][]Kind{
+		{LOR},
+		{LAND},
+		{EQL, NEQ, LSS, LEQ, GTR, GEQ},
+		{ADD, SUB},
+		{MUL, QUO, REM},
+	}
+	for level := 1; level < len(chain); level++ {
+		for _, lo := range chain[level-1] {
+			for _, hi := range chain[level] {
+				if !(lo.Precedence() < hi.Precedence()) {
+					t.Errorf("%v (prec %d) should bind looser than %v (prec %d)",
+						lo, lo.Precedence(), hi, hi.Precedence())
+				}
+			}
+		}
+	}
+	if ASSIGN.Precedence() != 0 || LPAREN.Precedence() != 0 {
+		t.Error("non-operators must have precedence 0")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if ADD.String() != "+" || PIPEGT.String() != "|>" || PROCESS.String() != "process" {
+		t.Error("kind strings wrong")
+	}
+	tok := Token{Kind: IDENT, Lit: "foo"}
+	if tok.String() != `IDENT("foo")` {
+		t.Errorf("token string = %q", tok.String())
+	}
+	if (Token{Kind: ALT}).String() != "alt" {
+		t.Errorf("keyword token string = %q", Token{Kind: ALT})
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Offset: 10, Line: 3, Column: 7}
+	if p.String() != "3:7" {
+		t.Errorf("pos = %q", p)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos should be invalid")
+	}
+	if (Pos{}).String() != "-" {
+		t.Errorf("invalid pos renders %q", Pos{})
+	}
+}

@@ -1,0 +1,143 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterningIdentity(t *testing.T) {
+	u := NewUniverse()
+	a := u.Record(false, []Field{{"x", u.IntType}, {"y", u.BoolType}})
+	b := u.Record(false, []Field{{"x", u.IntType}, {"y", u.BoolType}})
+	if a != b {
+		t.Error("structurally equal records interned to different types")
+	}
+	c := u.Record(true, []Field{{"x", u.IntType}, {"y", u.BoolType}})
+	if a == c {
+		t.Error("mutability must distinguish types")
+	}
+	d := u.Record(false, []Field{{"y", u.IntType}, {"x", u.BoolType}})
+	if a == d {
+		t.Error("field names must distinguish types")
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	u := NewUniverse()
+	seen := map[int]bool{}
+	ts := []*Type{
+		u.IntType, u.BoolType,
+		u.Array(false, u.IntType, 0),
+		u.Array(true, u.IntType, 0),
+		u.Record(false, []Field{{"a", u.IntType}}),
+	}
+	for _, x := range ts {
+		if seen[x.ID()] {
+			t.Errorf("duplicate type id %d", x.ID())
+		}
+		seen[x.ID()] = true
+		if u.ByID(x.ID()) != x {
+			t.Errorf("ByID(%d) roundtrip failed", x.ID())
+		}
+	}
+	if len(u.All()) != len(ts) {
+		t.Errorf("universe has %d types, want %d", len(u.All()), len(ts))
+	}
+}
+
+func TestDeeplyImmutable(t *testing.T) {
+	u := NewUniverse()
+	arr := u.Array(false, u.IntType, 0)
+	marr := u.Array(true, u.IntType, 0)
+	rec := u.Record(false, []Field{{"d", arr}})
+	mrec := u.Record(false, []Field{{"d", marr}})
+	if !arr.DeeplyImmutable() || !rec.DeeplyImmutable() {
+		t.Error("immutable structures misclassified")
+	}
+	if marr.DeeplyImmutable() || mrec.DeeplyImmutable() {
+		t.Error("mutable reachability missed")
+	}
+	if !u.IntType.DeeplyImmutable() {
+		t.Error("scalars are immutable")
+	}
+}
+
+func TestWithMutability(t *testing.T) {
+	u := NewUniverse()
+	arr := u.Array(false, u.IntType, 8)
+	marr := u.WithMutability(arr, true)
+	if !marr.Mutable || marr.Elem != u.IntType || marr.Bound != 8 {
+		t.Errorf("WithMutability produced %s", marr)
+	}
+	if u.WithMutability(marr, false) != arr {
+		t.Error("mutability round trip not interned to the original")
+	}
+	if u.WithMutability(u.IntType, true) != u.IntType {
+		t.Error("scalars have no mutability")
+	}
+}
+
+func TestNames(t *testing.T) {
+	u := NewUniverse()
+	r := u.Record(false, []Field{{"a", u.IntType}})
+	u.SetName(r, "first")
+	u.SetName(r, "second") // first declaration wins
+	if r.Name() != "first" || r.String() != "first" {
+		t.Errorf("name = %q", r.Name())
+	}
+	anon := u.Record(false, []Field{{"b", u.IntType}})
+	if anon.String() == "" {
+		t.Error("anonymous type must render its signature")
+	}
+}
+
+func TestSignatureDistinguishesStructures(t *testing.T) {
+	// Property: two types built from different scalar field layouts have
+	// different signatures (the interning key is injective for these).
+	u := NewUniverse()
+	f := func(names []bool, mut bool) bool {
+		if len(names) == 0 || len(names) > 8 {
+			return true
+		}
+		var fs []Field
+		for i, isInt := range names {
+			ft := u.IntType
+			if !isInt {
+				ft = u.BoolType
+			}
+			fs = append(fs, Field{Name: string(rune('a' + i)), Type: ft})
+		}
+		a := u.Record(mut, fs)
+		// Flip one field's type: must produce a different interned type.
+		fs2 := append([]Field(nil), fs...)
+		if fs2[0].Type == u.IntType {
+			fs2[0].Type = u.BoolType
+		} else {
+			fs2[0].Type = u.IntType
+		}
+		b := u.Record(mut, fs2)
+		return a != b && a.Signature() != b.Signature()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldIndex(t *testing.T) {
+	u := NewUniverse()
+	r := u.Record(false, []Field{{"a", u.IntType}, {"b", u.BoolType}})
+	if r.FieldIndex("a") != 0 || r.FieldIndex("b") != 1 || r.FieldIndex("c") != -1 {
+		t.Error("FieldIndex wrong")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	u := NewUniverse()
+	if !u.IntType.IsScalar() || u.IntType.IsRef() {
+		t.Error("int misclassified")
+	}
+	arr := u.Array(false, u.IntType, 0)
+	if arr.IsScalar() || !arr.IsRef() {
+		t.Error("array misclassified")
+	}
+}

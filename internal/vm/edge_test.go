@@ -1,0 +1,330 @@
+package vm_test
+
+import (
+	"testing"
+
+	"esplang/internal/vm"
+)
+
+func TestAltAllGuardsFalseBlocksForever(t *testing.T) {
+	// Guards are evaluated once at alt entry (§4.2); with every guard
+	// false the process is permanently blocked — idle at run time,
+	// deadlock under the checker.
+	src := `
+channel a: int
+channel b: int
+process p {
+    $g = false;
+    alt {
+        case( g, in( a, $x)) { skip; }
+        case( g, out( b, 1)) { skip; }
+    }
+}
+process q { out( a, 5); }
+`
+	m := newMachine(t, src, vm.Config{})
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("result %v, want idle (fault: %v)", res, m.Fault())
+	}
+	mm := newMachine(t, src, vm.Config{Manual: true})
+	mm.Settle()
+	if !mm.Deadlocked() {
+		t.Error("all-guards-false alt not reported as deadlock")
+	}
+}
+
+func TestDynamicEqualityDispatch(t *testing.T) {
+	// A pattern testing a runtime variable: the receiver takes only the
+	// message whose first field equals its expected counter — others stay
+	// queued with their senders.
+	m := newMachine(t, `
+type msgT = record of { seq: int, v: int }
+channel c: msgT
+channel outC: int external reader
+process s1 { out( c, { 2, 200}); }
+process s2 { out( c, { 1, 100}); }
+process s3 { out( c, { 3, 300}); }
+process r {
+    $expect = 1;
+    while (expect <= 3) {
+        in( c, { expect, $v});
+        out( outC, v);
+        expect = expect + 1;
+    }
+}
+`, vm.Config{})
+	out := &vm.CollectReader{}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	want := []int64{100, 200, 300}
+	for i, w := range want {
+		if out.Values[i].Int() != w {
+			t.Errorf("output %d = %d, want %d (dynamic dispatch order)", i, out.Values[i].Int(), w)
+		}
+	}
+}
+
+func TestNegativeArithmetic(t *testing.T) {
+	m := newMachine(t, `
+channel outC: int external reader
+process p {
+    $a = -7;
+    out( outC, -a);
+    out( outC, a % 3);
+    out( outC, a / 2);
+    out( outC, 0 - 5 * -1);
+}
+`, vm.Config{})
+	out := &vm.CollectReader{}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	// Go semantics for / and % on negatives (truncated division).
+	want := []int64{7, -1, -3, 5}
+	for i, w := range want {
+		if out.Values[i].Int() != w {
+			t.Errorf("output %d = %d, want %d", i, out.Values[i].Int(), w)
+		}
+	}
+}
+
+func TestExternalReaderBackpressure(t *testing.T) {
+	// A reader that accepts only 2 values: the producer blocks on the
+	// third send and the machine goes idle mid-stream.
+	m := newMachine(t, `
+channel outC: int external reader
+process p {
+    $i = 0;
+    while (i < 5) {
+        out( outC, i);
+        i = i + 1;
+    }
+}
+`, vm.Config{})
+	out := &vm.CollectReader{Limit: 2}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("result %v, want idle", res)
+	}
+	if len(out.Values) != 2 {
+		t.Fatalf("reader took %d values, limit was 2", len(out.Values))
+	}
+	// Lifting the limit and re-running drains the rest.
+	out.Limit = 0
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("resumed run: %v (fault: %v)", res, m.Fault())
+	}
+	if len(out.Values) != 5 {
+		t.Errorf("total values = %d, want 5", len(out.Values))
+	}
+}
+
+func TestWaitQueueModeAltCleanup(t *testing.T) {
+	// In wait-queue mode, an alt blocked on several channels must be
+	// removed from every queue when one arm fires; the follow-up traffic
+	// would otherwise pair against stale entries.
+	m := newMachine(t, `
+channel a: int
+channel b: int
+channel outC: int external reader
+process chooser {
+    $n = 0;
+    while (n < 4) {
+        alt {
+            case( in( a, $x)) { out( outC, x); }
+            case( in( b, $y)) { out( outC, y + 100); }
+        }
+        n = n + 1;
+    }
+}
+process sa { out( a, 1); out( a, 2); }
+process sb { out( b, 3); out( b, 4); }
+`, vm.Config{UseWaitQueues: true})
+	out := &vm.CollectReader{}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if len(out.Values) != 4 {
+		t.Fatalf("got %d outputs, want 4", len(out.Values))
+	}
+	if m.Stats.QueueOps == 0 {
+		t.Error("queue mode charged no queue operations")
+	}
+	sum := int64(0)
+	for _, v := range out.Values {
+		sum += v.Int()
+	}
+	if sum != 1+2+103+104 {
+		t.Errorf("outputs %v (sum %d), want values 1,2,103,104 in some order", out.Values, sum)
+	}
+}
+
+func TestSelfInLocalPattern(t *testing.T) {
+	// '@' in a local destructuring pattern asserts the field equals the
+	// process id (process ids are assigned in declaration order).
+	m := newMachine(t, `
+type r = record of { pid: int, v: int }
+channel outC: int external reader
+process p {
+    $x: r = { 0, 42};
+    { @, $v} = x;
+    out( outC, v);
+    unlink( x);
+}
+`, vm.Config{})
+	out := &vm.CollectReader{}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if out.Values[0].Int() != 42 {
+		t.Errorf("got %d", out.Values[0].Int())
+	}
+}
+
+func TestLocalPatternMismatchFaults(t *testing.T) {
+	m := newMachine(t, `
+type r = record of { tag: int, v: int }
+process p {
+    $x: r = { 1, 42};
+    { 2, $v} = x; // tag test fails
+    unlink( x);
+}
+`, vm.Config{})
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("result %v, want fault", res)
+	}
+	if m.Fault().Kind != vm.FaultAssert {
+		t.Errorf("fault %v, want assertion (pattern match)", m.Fault().Kind)
+	}
+}
+
+func TestUnionOfRecordRefcounts(t *testing.T) {
+	// A union wrapping a record wrapping an array: the nested transfer
+	// keeps exactly the receiver's references alive.
+	m := newMachine(t, `
+type dataT = array of int
+type pktT = record of { n: int, data: dataT }
+type envT = union of { pkt: pktT, nop: int }
+channel c: envT
+channel done: int external reader
+process w {
+    $k = 0;
+    while (k < 10) {
+        $d: dataT = { 4 -> k};
+        out( c, { pkt |> { k, d}});
+        unlink( d);
+        out( c, { nop |> 0});
+        k = k + 1;
+    }
+}
+process rPkt {
+    while (true) {
+        in( c, { pkt |> { $n, $data}});
+        assert( data[0] == n);
+        unlink( data);
+    }
+}
+process rNop {
+    $seen = 0;
+    while (seen < 10) {
+        in( c, { nop |> $z});
+        seen = seen + 1;
+    }
+    out( done, seen);
+}
+`, vm.Config{MaxLiveObjects: 24})
+	d := &vm.CollectReader{}
+	if err := m.BindReader("done", d); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if len(d.Values) != 1 || d.Values[0].Int() != 10 {
+		t.Fatalf("done = %v", d.Values)
+	}
+	if m.Heap().Live() != 0 {
+		t.Errorf("heap live = %d, want 0", m.Heap().Live())
+	}
+}
+
+func TestStepBudgetInsideAltBody(t *testing.T) {
+	m := newMachine(t, `
+channel c: int
+process p {
+    alt {
+        case( in( c, $x)) {
+            while (true) { skip; }
+        }
+    }
+}
+process q { out( c, 1); }
+`, vm.Config{StepBudget: 500})
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("result %v, want step-budget fault", res)
+	}
+	if m.Fault().Kind != vm.FaultStep {
+		t.Errorf("fault %v", m.Fault().Kind)
+	}
+}
+
+func TestManyProcessesManyChannels(t *testing.T) {
+	// A 10-stage pipeline: stresses scheduling and wait bookkeeping
+	// (also the 64-bit wait masks with >32 channels would go here if the
+	// VM used fixed-width masks; it scans descriptors instead).
+	src := `
+channel c0: int external writer
+interface i( out c0) { Put( $v) }
+channel outC: int external reader
+`
+	for i := 0; i < 10; i++ {
+		src += "\nchannel d" + string(rune('0'+i)) + ": int"
+	}
+	src += "\nprocess s0 { while (true) { in( c0, $v); out( d0, v + 1); } }"
+	for i := 1; i < 10; i++ {
+		a := string(rune('0' + i - 1))
+		b := string(rune('0' + i))
+		src += "\nprocess s" + b + " { while (true) { in( d" + a + ", $v); out( d" + b + ", v + 1); } }"
+	}
+	src += "\nprocess sink { while (true) { in( d9, $v); out( outC, v); } }"
+
+	m := newMachine(t, src, vm.Config{})
+	in := &vm.QueueWriter{}
+	out := &vm.CollectReader{}
+	if err := m.BindWriter("c0", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("outC", out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v := int64(i * 100)
+		in.Push(0, func(*vm.Machine) vm.Value { return vm.IntVal(v) })
+	}
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if len(out.Values) != 5 {
+		t.Fatalf("got %d outputs", len(out.Values))
+	}
+	for i, s := range out.Values {
+		if s.Int() != int64(i*100+10) {
+			t.Errorf("output %d = %d, want %d", i, s.Int(), i*100+10)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package vm
+
+import (
+	"encoding/binary"
+)
+
+// EncodeState serializes the machine's semantic state into a canonical
+// byte string: two states encode equally iff they are behaviorally
+// identical. Heap objects are renumbered in first-visit order during a
+// deterministic traversal from the process roots, so object identities
+// assigned at different allocation times do not distinguish states —
+// the objectId canonicalization of §5.2.
+func (m *Machine) EncodeState() string {
+	e := &stateEncoder{ids: make(map[*Object]int)}
+	// The live-object count is part of the state: leaked objects are
+	// unreachable from the roots but still occupy objectIds, and it is
+	// exactly their accumulation that the verifier's fixed-size table
+	// catches (§5.2).
+	e.uv(uint64(m.heap.live))
+	for _, p := range m.Procs {
+		e.u8(uint8(p.Status))
+		e.uv(uint64(p.PC))
+		e.uv(uint64(p.WaitChan + 1))
+		e.uv(uint64(p.WaitPort + 1))
+		e.uv(uint64(p.AltIdx + 1))
+		e.uv(uint64(p.ResumePC + 1))
+		e.uv(uint64(len(p.Locals)))
+		for _, v := range p.Locals {
+			e.value(v)
+		}
+		e.uv(uint64(len(p.Stack)))
+		for _, v := range p.Stack {
+			e.value(v)
+		}
+		if p.Status == PBlockedSend {
+			e.value(p.Pending)
+			e.uv(uint64(p.PendingFlags))
+		}
+	}
+	// Emit visited objects' contents after the roots (ids are stable by
+	// first-visit order, so a second pass is unnecessary: contents were
+	// emitted inline at first visit).
+	return string(e.buf)
+}
+
+type stateEncoder struct {
+	buf []byte
+	ids map[*Object]int
+}
+
+func (e *stateEncoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *stateEncoder) uv(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *stateEncoder) iv(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *stateEncoder) value(v Value) {
+	if !v.IsRef {
+		e.u8(0)
+		e.iv(v.Int)
+		return
+	}
+	if v.Ref == nil {
+		e.u8(1)
+		return
+	}
+	if id, ok := e.ids[v.Ref]; ok {
+		e.u8(2)
+		e.uv(uint64(id))
+		return
+	}
+	id := len(e.ids)
+	e.ids[v.Ref] = id
+	e.u8(3)
+	e.uv(uint64(v.Ref.Type.ID()))
+	flags := uint8(0)
+	if v.Ref.Freed {
+		flags = 1
+	}
+	e.u8(flags)
+	e.iv(int64(v.Ref.RC))
+	e.uv(uint64(v.Ref.Tag))
+	e.uv(uint64(len(v.Ref.Elems)))
+	for _, el := range v.Ref.Elems {
+		e.value(el)
+	}
+}

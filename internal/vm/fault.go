@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"fmt"
+
+	"esplang/internal/token"
+)
+
+// FaultKind classifies runtime faults. Every kind except FaultInternal
+// corresponds to a property the verifier checks (§5).
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultAssert
+	FaultUseAfterFree
+	FaultDoubleFree
+	FaultNegativeRC
+	FaultOutOfObjects // live-object bound exceeded: a memory leak (§5.2)
+	FaultDivByZero
+	FaultIndexOOB
+	FaultTagMismatch
+	FaultNoMatchingPort
+	FaultStackOverflow
+	FaultStep // step budget exhausted (runaway local loop)
+	FaultInternal
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultAssert:
+		return "assertion failure"
+	case FaultUseAfterFree:
+		return "use after free"
+	case FaultDoubleFree:
+		return "double free"
+	case FaultNegativeRC:
+		return "negative reference count"
+	case FaultOutOfObjects:
+		return "out of objects (memory leak)"
+	case FaultDivByZero:
+		return "division by zero"
+	case FaultIndexOOB:
+		return "array index out of bounds"
+	case FaultTagMismatch:
+		return "union tag mismatch"
+	case FaultNoMatchingPort:
+		return "value matches no receive pattern"
+	case FaultStackOverflow:
+		return "operand stack overflow"
+	case FaultStep:
+		return "step budget exhausted"
+	case FaultInternal:
+		return "internal error"
+	}
+	return "no fault"
+}
+
+// Fault is a runtime error, attributed to a process and source position
+// when known.
+type Fault struct {
+	Kind FaultKind
+	Msg  string
+	Proc string
+	PC   int
+	Pos  token.Pos
+}
+
+func (f *Fault) Error() string {
+	loc := ""
+	if f.Proc != "" {
+		loc = fmt.Sprintf(" in process %s", f.Proc)
+		if f.Pos.IsValid() {
+			loc += fmt.Sprintf(" at %s", f.Pos)
+		}
+	}
+	return fmt.Sprintf("%s%s: %s", f.Kind, loc, f.Msg)
+}

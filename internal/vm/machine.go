@@ -1,0 +1,350 @@
+package vm
+
+import (
+	"fmt"
+
+	"esplang/internal/ir"
+)
+
+// ProcStatus is the scheduling state of a process instance.
+type ProcStatus uint8
+
+// Process states. A blocked process is parked at a Send/Recv/Alt
+// instruction; only its program counter and blocking descriptor are live —
+// the paper's stack-less context switch (§6.1).
+const (
+	PReady ProcStatus = iota
+	PBlockedSend
+	PBlockedRecv
+	PBlockedAlt
+	PHalted
+)
+
+func (s ProcStatus) String() string {
+	switch s {
+	case PReady:
+		return "ready"
+	case PBlockedSend:
+		return "blocked(send)"
+	case PBlockedRecv:
+		return "blocked(recv)"
+	case PBlockedAlt:
+		return "blocked(alt)"
+	case PHalted:
+		return "halted"
+	}
+	return "?"
+}
+
+// ProcInst is one running process.
+type ProcInst struct {
+	Def    *ir.Proc
+	ID     int
+	PC     int
+	Locals []Value
+	Stack  []Value
+	Status ProcStatus
+
+	// Blocked-send state.
+	Pending      Value
+	PendingFlags int
+
+	// Blocking descriptor: the channel (send/recv), port (recv), alt
+	// table index (alt), and the pc to resume at once the communication
+	// completes.
+	WaitChan int
+	WaitPort int
+	AltIdx   int
+	ResumePC int
+}
+
+// Config controls machine behavior.
+type Config struct {
+	// Manual disables eager rendezvous: Send/Recv/Alt block immediately
+	// and communications are fired explicitly (model-checker mode).
+	// SendCommit still auto-completes: it is the second half of an
+	// already-chosen transition.
+	Manual bool
+	// UseWaitQueues selects the per-channel wait-queue implementation of
+	// blocking instead of the paper's per-process bit-mask scan (§6.1
+	// ablation).
+	UseWaitQueues bool
+	// ForceDeepCopy makes every rendezvous physically deep-copy the
+	// message instead of adjusting reference counts (§6.2 ablation).
+	ForceDeepCopy bool
+	// MaxLiveObjects bounds the heap; exceeding it faults (leak
+	// detection, §5.2). Zero means unlimited.
+	MaxLiveObjects int
+	// StepBudget bounds the instructions one process may execute between
+	// blocking points (runaway-loop guard). Zero means the default.
+	StepBudget int64
+}
+
+const defaultStepBudget = 50_000_000
+
+// Machine executes one compiled ESP program.
+type Machine struct {
+	Prog   *ir.Program
+	Procs  []*ProcInst
+	Cost   CostModel
+	Stats  Stats
+	Cycles int64
+	Config Config
+
+	heap  Heap
+	ready []int // LIFO stack of ready proc indices (stack-based policy, §6.1)
+	flt   *Fault
+
+	// commitTarget/commitArm pin the receiver (and its alt arm, or -1)
+	// the next SendCommit must deliver to; set by the model checker's
+	// FireComm, -1 otherwise.
+	commitTarget int
+	commitArm    int
+
+	extW map[int]ExternalWriter
+	extR map[int]ExternalReader
+
+	// Wait-queue mode state (UseWaitQueues).
+	sendQ map[int][]int
+	recvQ map[int][]int
+}
+
+// New creates a machine for prog. All processes start ready, in
+// declaration order.
+func New(prog *ir.Program, cfg Config) *Machine {
+	if cfg.StepBudget == 0 {
+		cfg.StepBudget = defaultStepBudget
+	}
+	m := &Machine{
+		Prog:         prog,
+		Config:       cfg,
+		Cost:         DefaultCostModel(),
+		extW:         make(map[int]ExternalWriter),
+		extR:         make(map[int]ExternalReader),
+		sendQ:        make(map[int][]int),
+		recvQ:        make(map[int][]int),
+		commitTarget: -1,
+		commitArm:    -1,
+	}
+	m.heap.MaxLive = cfg.MaxLiveObjects
+	for _, pd := range prog.Procs {
+		p := &ProcInst{
+			Def:    pd,
+			ID:     pd.ID,
+			Locals: make([]Value, pd.NumLocals),
+			Stack:  make([]Value, 0, pd.MaxStack),
+		}
+		m.Procs = append(m.Procs, p)
+	}
+	// Push in reverse so the first-declared process runs first.
+	for i := len(m.Procs) - 1; i >= 0; i-- {
+		m.ready = append(m.ready, i)
+	}
+	return m
+}
+
+// Heap exposes the machine's heap (read-mostly; external bindings
+// allocate through the New*V helpers).
+func (m *Machine) Heap() *Heap { return &m.heap }
+
+// Fault returns the first runtime fault, or nil.
+func (m *Machine) Fault() *Fault { return m.flt }
+
+// BindWriter attaches an external writer to the named channel.
+func (m *Machine) BindWriter(chanName string, w ExternalWriter) error {
+	ch := m.Prog.ChannelByName(chanName)
+	if ch == nil {
+		return fmt.Errorf("vm: no channel %q", chanName)
+	}
+	if ch.Ext != ir.ExtWriter {
+		return fmt.Errorf("vm: channel %q is not an external-writer channel", chanName)
+	}
+	m.extW[ch.ID] = w
+	return nil
+}
+
+// BindReader attaches an external reader to the named channel.
+func (m *Machine) BindReader(chanName string, r ExternalReader) error {
+	ch := m.Prog.ChannelByName(chanName)
+	if ch == nil {
+		return fmt.Errorf("vm: no channel %q", chanName)
+	}
+	if ch.Ext != ir.ExtReader {
+		return fmt.Errorf("vm: channel %q is not an external-reader channel", chanName)
+	}
+	m.extR[ch.ID] = r
+	return nil
+}
+
+func (m *Machine) charge(n int64) { m.Cycles += n }
+
+func (m *Machine) setFault(f *Fault, p *ProcInst) {
+	if m.flt != nil {
+		return
+	}
+	if p != nil {
+		f.Proc = p.Def.Name
+		f.PC = p.PC
+		if p.PC >= 0 && p.PC < len(p.Def.Code) {
+			f.Pos = p.Def.Code[p.PC].Pos
+		}
+	}
+	m.flt = f
+}
+
+// fault records a fault with no process attribution (used by external
+// bindings and allocation helpers).
+func (m *Machine) fault(f *Fault) { m.setFault(f, nil) }
+
+// RunResult says why Run returned.
+type RunResult int
+
+// Run outcomes.
+const (
+	RunIdle   RunResult = iota // no ready process and no external input
+	RunHalted                  // every process halted
+	RunFault                   // a fault occurred (see Fault)
+)
+
+func (r RunResult) String() string {
+	switch r {
+	case RunIdle:
+		return "idle"
+	case RunHalted:
+		return "halted"
+	case RunFault:
+		return "fault"
+	}
+	return "?"
+}
+
+// Run executes until every process halts, a fault occurs, or the machine
+// goes idle (all processes blocked and no external input available). It
+// is the firmware's main loop: drain ready work, then poll external
+// channels (§6.1's idle loop).
+func (m *Machine) Run() RunResult {
+	for {
+		m.RunReady()
+		if m.flt != nil {
+			return RunFault
+		}
+		if m.AllHalted() {
+			return RunHalted
+		}
+		if !m.Poll() {
+			return RunIdle
+		}
+	}
+}
+
+// RunReady executes ready processes until none remain or a fault occurs.
+func (m *Machine) RunReady() {
+	for m.flt == nil && len(m.ready) > 0 {
+		idx := m.ready[len(m.ready)-1]
+		m.ready = m.ready[:len(m.ready)-1]
+		p := m.Procs[idx]
+		if p.Status != PReady {
+			continue // stale entry
+		}
+		m.charge(m.Cost.CtxSwitch)
+		m.Stats.CtxSwitches++
+		m.exec(p)
+	}
+}
+
+// AllHalted reports whether every process has terminated.
+func (m *Machine) AllHalted() bool {
+	for _, p := range m.Procs {
+		if p.Status != PHalted {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether no process is ready (all blocked or halted).
+func (m *Machine) Quiescent() bool {
+	for _, p := range m.Procs {
+		if p.Status == PReady {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) enqueue(idx int) {
+	m.ready = append(m.ready, idx)
+}
+
+// ---------------------------------------------------------------------------
+// Wait registration (bit-mask mode is implicit: the candidate scans below
+// walk the process table checking each process's blocking descriptor,
+// charging MaskCheck per look — the paper's colocated bit-masks. Queue
+// mode maintains explicit per-channel queues and pays QueueOp for every
+// insertion and removal, including removal from all queues when an alt
+// unblocks.)
+
+func (m *Machine) regSend(p *ProcInst, chanID int) {
+	if !m.Config.UseWaitQueues {
+		return
+	}
+	m.sendQ[chanID] = append(m.sendQ[chanID], p.ID)
+	m.charge(m.Cost.QueueOp)
+	m.Stats.QueueOps++
+}
+
+func (m *Machine) regRecv(p *ProcInst, chanID int) {
+	if !m.Config.UseWaitQueues {
+		return
+	}
+	m.recvQ[chanID] = append(m.recvQ[chanID], p.ID)
+	m.charge(m.Cost.QueueOp)
+	m.Stats.QueueOps++
+}
+
+// unregister removes p from every wait queue (queue mode only). This is
+// the cost the paper's bit-mask design avoids: an alt may sit in several
+// queues, possibly mid-queue.
+func (m *Machine) unregister(p *ProcInst) {
+	if !m.Config.UseWaitQueues {
+		return
+	}
+	for chanID, q := range m.sendQ {
+		m.sendQ[chanID] = removeID(q, p.ID, m)
+	}
+	for chanID, q := range m.recvQ {
+		m.recvQ[chanID] = removeID(q, p.ID, m)
+	}
+}
+
+func removeID(q []int, id int, m *Machine) []int {
+	for i, v := range q {
+		m.charge(m.Cost.QueueOp)
+		m.Stats.QueueOps++
+		if v == id {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// candidates returns the process indices to examine when looking for a
+// partner blocked on chanID in the given direction. In bit-mask mode the
+// whole search costs one or two mask-word checks — the masks of several
+// processes are colocated in one integer (§6.1) — so the charge is per
+// search, not per process examined.
+func (m *Machine) candidates(chanID int, send bool) []int {
+	if m.Config.UseWaitQueues {
+		if send {
+			return m.sendQ[chanID]
+		}
+		return m.recvQ[chanID]
+	}
+	m.charge(m.Cost.MaskCheck)
+	m.Stats.MaskChecks++
+	idxs := make([]int, len(m.Procs))
+	for i := range m.Procs {
+		idxs[i] = i
+	}
+	return idxs
+}

@@ -1,0 +1,876 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/check"
+	"esplang/internal/compile"
+	"esplang/internal/ir"
+	"esplang/internal/parser"
+	"esplang/internal/vm"
+)
+
+// compileSrc parses, checks, and lowers an ESP program.
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return compile.Program(prog, info)
+}
+
+func newMachine(t *testing.T, src string, cfg vm.Config) *vm.Machine {
+	t.Helper()
+	return vm.New(compileSrc(t, src), cfg)
+}
+
+const add5Src = `
+channel inC: int external writer
+channel outC: int external reader
+interface inI( out inC) { Put( $v) }
+process add5 {
+    while (true) {
+        in( inC, $i);
+        out( outC, i+5);
+    }
+}
+`
+
+func TestAdd5External(t *testing.T) {
+	m := newMachine(t, add5Src, vm.Config{})
+	in := &vm.QueueWriter{}
+	outv := &vm.CollectReader{}
+	if err := m.BindWriter("inC", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("outC", outv); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{1, 10, 37} {
+		v := v
+		in.Push(0, func(_ *vm.Machine) vm.Value { return vm.IntVal(v) })
+	}
+	res := m.Run()
+	if res != vm.RunIdle {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	want := []int64{6, 15, 42}
+	if len(outv.Values) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(outv.Values), len(want))
+	}
+	for i, w := range want {
+		if outv.Values[i].Int() != w {
+			t.Errorf("output %d = %d, want %d", i, outv.Values[i].Int(), w)
+		}
+	}
+}
+
+func TestInternalRendezvous(t *testing.T) {
+	m := newMachine(t, `
+channel c: int
+channel outC: int external reader
+process producer {
+    $i = 0;
+    while (i < 5) {
+        out( c, i*i);
+        i = i + 1;
+    }
+}
+process consumer {
+    $n = 0;
+    while (n < 5) {
+        in( c, $v);
+        out( outC, v);
+        n = n + 1;
+    }
+}
+`, vm.Config{})
+	outv := &vm.CollectReader{}
+	if err := m.BindReader("outC", outv); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res != vm.RunHalted {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	want := []int64{0, 1, 4, 9, 16}
+	for i, w := range want {
+		if outv.Values[i].Int() != w {
+			t.Errorf("output %d = %d, want %d", i, outv.Values[i].Int(), w)
+		}
+	}
+}
+
+func TestFifoAltWithGuards(t *testing.T) {
+	// The paper's §4.2 FIFO buffer between a fast producer and a consumer.
+	m := newMachine(t, `
+const CAP = 4;
+channel chan1: int external writer
+channel chan2: int external reader
+interface i1( out chan1) { Msg( $v) }
+process fifo {
+    $q: #array of int = #{ CAP -> 0};
+    $hd = 0;
+    $tl = 0;
+    while (true) {
+        alt {
+            case( !(tl - hd == CAP), in( chan1, $v)) { q[tl % CAP] = v; tl = tl + 1; }
+            case( !(tl == hd), out( chan2, q[hd % CAP])) { hd = hd + 1; }
+        }
+    }
+}
+`, vm.Config{})
+	in := &vm.QueueWriter{}
+	outv := &vm.CollectReader{}
+	if err := m.BindWriter("chan1", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("chan2", outv); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		v := i * 7
+		in.Push(0, func(_ *vm.Machine) vm.Value { return vm.IntVal(v) })
+	}
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	if len(outv.Values) != 10 {
+		t.Fatalf("got %d outputs, want 10", len(outv.Values))
+	}
+	for i, s := range outv.Values {
+		if s.Int() != int64(i*7) {
+			t.Errorf("output %d = %d, want %d (FIFO order violated)", i, s.Int(), i*7)
+		}
+	}
+}
+
+const pageTableSrc = `
+type dataT = array of int
+type sendT = record of { dest: int, vAddr: int, size: int}
+type updateT = record of { vAddr: int, pAddr: int}
+type userT = union of { send: sendT, update: updateT}
+
+const TABLE_SIZE = 16;
+
+channel ptReqC: record of { ret: int, vAddr: int}
+channel ptReplyC: record of { ret: int, pAddr: int}
+channel dmaReqC: record of { ret: int, pAddr: int, size: int}
+channel dmaDataC: record of { ret: int, data: dataT}
+channel SM2C: record of { dest: int, data: dataT} external reader
+channel userReqC: userT external writer
+
+interface userReq( out userReqC) {
+    Send( { send |> { $dest, $vAddr, $size}}),
+    Update( { update |> { $vAddr, $pAddr}}),
+}
+
+process pageTable {
+    $table: #array of int = #{ TABLE_SIZE -> 0, ... };
+    while (true) {
+        alt {
+            case( in( ptReqC, { $ret, $vAddr})) {
+                out( ptReplyC, { ret, table[vAddr]});
+            }
+            case( in( userReqC, { update |> { $vAddr, $pAddr}})) {
+                table[vAddr] = pAddr;
+            }
+        }
+    }
+}
+
+process dma {
+    while (true) {
+        in( dmaReqC, { $ret, $pAddr, $size});
+        $data: dataT = { size -> pAddr};
+        out( dmaDataC, { ret, data});
+        unlink( data);
+    }
+}
+
+process SM1 {
+    while (true) {
+        in( userReqC, { send |> { $dest, $vAddr, $size}});
+        out( ptReqC, { @, vAddr});
+        in( ptReplyC, { @, $pAddr});
+        out( dmaReqC, { @, pAddr, size});
+        in( dmaDataC, { @, $sendData});
+        out( SM2C, { dest, sendData});
+        unlink( sendData);
+    }
+}
+`
+
+func TestAppendixB(t *testing.T) {
+	m := newMachine(t, pageTableSrc, vm.Config{MaxLiveObjects: 64})
+	user := &vm.QueueWriter{}
+	net := &vm.CollectReader{}
+	if err := m.BindWriter("userReqC", user); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("SM2C", net); err != nil {
+		t.Fatal(err)
+	}
+
+	// Update the page table: vAddr 3 -> pAddr 777, then send from vAddr 3.
+	user.Push(1, func(mm *vm.Machine) vm.Value {
+		updateT := mm.Prog.ChannelByName("userReqC").Elem.Fields[1].Type
+		userT := mm.Prog.ChannelByName("userReqC").Elem
+		rec := mm.NewRecordV(updateT, vm.IntVal(3), vm.IntVal(777))
+		return mm.NewUnionV(userT, 1, rec)
+	})
+	user.Push(0, func(mm *vm.Machine) vm.Value {
+		sendT := mm.Prog.ChannelByName("userReqC").Elem.Fields[0].Type
+		userT := mm.Prog.ChannelByName("userReqC").Elem
+		rec := mm.NewRecordV(sendT, vm.IntVal(9), vm.IntVal(3), vm.IntVal(4))
+		return mm.NewUnionV(userT, 0, rec)
+	})
+
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	if len(net.Values) != 1 {
+		t.Fatalf("got %d network messages, want 1", len(net.Values))
+	}
+	msg := net.Values[0]
+	if msg.Field(0).Int() != 9 {
+		t.Errorf("dest = %d, want 9", msg.Field(0).Int())
+	}
+	data := msg.Field(1)
+	if data.Obj == nil || len(data.Obj.Elems) != 4 {
+		t.Fatalf("data = %+v, want 4-element array", data.Obj)
+	}
+	// dma fills the array with pAddr = translated address 777.
+	for i := 0; i < 4; i++ {
+		if data.Field(i).Int() != 777 {
+			t.Errorf("data[%d] = %d, want 777 (address translation failed)", i, data.Field(i).Int())
+		}
+	}
+	// No leaks: everything allocated during the exchange must be freed.
+	if live := m.Heap().Live(); live != 1 {
+		// pageTable's table array stays live (1 object).
+		t.Errorf("heap live = %d, want 1 (pageTable's table)", live)
+	}
+}
+
+func TestUnionDispatchAcrossProcesses(t *testing.T) {
+	// The §4.2 dispatch example: process C's out is routed by pattern.
+	m := newMachine(t, `
+type userT = union of { send: int, update: int}
+channel c: userT
+channel aOut: int external reader
+channel bOut: int external reader
+process a {
+    while (true) { in( c, { send |> $v}); out( aOut, v); }
+}
+process b {
+    while (true) { in( c, { update |> $v}); out( bOut, v); }
+}
+process w {
+    out( c, { send |> 1});
+    out( c, { update |> 2});
+    out( c, { send |> 3});
+}
+`, vm.Config{})
+	av := &vm.CollectReader{}
+	bv := &vm.CollectReader{}
+	if err := m.BindReader("aOut", av); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("bOut", bv); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	if len(av.Values) != 2 || av.Values[0].Int() != 1 || av.Values[1].Int() != 3 {
+		t.Errorf("process a received %v, want [1 3]", av.Values)
+	}
+	if len(bv.Values) != 1 || bv.Values[0].Int() != 2 {
+		t.Errorf("process b received %v, want [2]", bv.Values)
+	}
+}
+
+func TestSelfDispatch(t *testing.T) {
+	// The ret-field convention: two clients of one server, replies routed
+	// by @.
+	m := newMachine(t, `
+type reqT = record of { ret: int, v: int}
+type repT = record of { ret: int, v: int}
+channel req: reqT
+channel rep: repT
+channel out1: int external reader
+channel out2: int external reader
+process server {
+    while (true) {
+        in( req, { $ret, $v});
+        out( rep, { ret, v*10});
+    }
+}
+process client1 {
+    out( req, { @, 1});
+    in( rep, { @, $r});
+    out( out1, r);
+}
+process client2 {
+    out( req, { @, 2});
+    in( rep, { @, $r});
+    out( out2, r);
+}
+`, vm.Config{})
+	o1 := &vm.CollectReader{}
+	o2 := &vm.CollectReader{}
+	if err := m.BindReader("out1", o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("out2", o2); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunIdle {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	if len(o1.Values) != 1 || o1.Values[0].Int() != 10 {
+		t.Errorf("client1 got %v, want [10]", o1.Values)
+	}
+	if len(o2.Values) != 1 || o2.Values[0].Int() != 20 {
+		t.Errorf("client2 got %v, want [20]", o2.Values)
+	}
+}
+
+func TestLocalPatternMatch(t *testing.T) {
+	m := newMachine(t, `
+type sendT = record of { dest: int, vAddr: int, size: int}
+type userT = union of { send: sendT}
+channel outC: int external reader
+process p {
+    $ur2: userT = { send |> { 5, 10000, 512}};
+    { send |> { $dest, $vAddr, $size}} = ur2;
+    out( outC, dest + vAddr + size);
+    unlink( ur2);
+}
+`, vm.Config{MaxLiveObjects: 8})
+	o := &vm.CollectReader{}
+	if err := m.BindReader("outC", o); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("run result %v (fault: %v)", res, m.Fault())
+	}
+	if o.Values[0].Int() != 10517 {
+		t.Errorf("got %d, want 10517", o.Values[0].Int())
+	}
+	if live := m.Heap().Live(); live != 0 {
+		t.Errorf("heap live = %d, want 0", live)
+	}
+}
+
+func TestAssertFault(t *testing.T) {
+	m := newMachine(t, `process p { $x = 3; assert( x == 4); }`, vm.Config{})
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("run result %v, want fault", res)
+	}
+	f := m.Fault()
+	if f.Kind != vm.FaultAssert {
+		t.Errorf("fault kind %v, want assert", f.Kind)
+	}
+	if !strings.Contains(f.Error(), "x == 4") {
+		t.Errorf("fault %q does not mention the expression", f.Error())
+	}
+}
+
+func TestArithmeticFaults(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind vm.FaultKind
+	}{
+		{`process p { $x = 0; $y = 5 / x; }`, vm.FaultDivByZero},
+		{`process p { $x = 0; $y = 5 % x; }`, vm.FaultDivByZero},
+		{`process p { $a: array of int = { 3 -> 0}; $y = a[5]; }`, vm.FaultIndexOOB},
+		{`process p { $a: array of int = { 3 -> 0}; $y = a[0-1]; }`, vm.FaultIndexOOB},
+	}
+	for _, tt := range tests {
+		m := newMachine(t, tt.src, vm.Config{})
+		if res := m.Run(); res != vm.RunFault {
+			t.Errorf("%q: result %v, want fault", tt.src, res)
+			continue
+		}
+		if m.Fault().Kind != tt.kind {
+			t.Errorf("%q: fault %v, want %v", tt.src, m.Fault().Kind, tt.kind)
+		}
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	m := newMachine(t, `
+process p {
+    $a: #array of int = #{ 4 -> 0};
+    unlink( a);
+    a[0] = 1;
+}
+`, vm.Config{})
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("result %v, want fault", res)
+	}
+	if m.Fault().Kind != vm.FaultUseAfterFree {
+		t.Errorf("fault %v, want use-after-free", m.Fault().Kind)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	m := newMachine(t, `
+process p {
+    $a: #array of int = #{ 4 -> 0};
+    unlink( a);
+    unlink( a);
+}
+`, vm.Config{})
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("result %v, want fault", res)
+	}
+	if m.Fault().Kind != vm.FaultDoubleFree {
+		t.Errorf("fault %v, want double free", m.Fault().Kind)
+	}
+}
+
+func TestLeakDetectedViaObjectBound(t *testing.T) {
+	// The §5.2 leak detector: a loop that allocates without unlinking runs
+	// out of objectIds.
+	m := newMachine(t, `
+channel c: int external writer
+interface i( out c) { Tick( $v) }
+process p {
+    while (true) {
+        in( c, $v);
+        $a: array of int = { 4 -> v};
+    }
+}
+`, vm.Config{MaxLiveObjects: 8})
+	in := &vm.QueueWriter{}
+	if err := m.BindWriter("c", in); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		in.Push(0, func(_ *vm.Machine) vm.Value { return vm.IntVal(1) })
+	}
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("result %v, want fault (leak)", res)
+	}
+	if m.Fault().Kind != vm.FaultOutOfObjects {
+		t.Errorf("fault %v, want out-of-objects", m.Fault().Kind)
+	}
+}
+
+func TestRefcountTransferNoLeak(t *testing.T) {
+	// A ref payload bounced through two processes must end with exactly
+	// the receiver's reference.
+	m := newMachine(t, `
+type dataT = array of int
+type msgT = record of { tag: int, data: dataT}
+channel c: msgT
+channel done: int external reader
+process producer {
+    $n = 0;
+    while (n < 50) {
+        $d: dataT = { 8 -> n};
+        out( c, { n, d});
+        unlink( d);
+        n = n + 1;
+    }
+}
+process consumer {
+    $n = 0;
+    while (n < 50) {
+        in( c, { $tag, $data});
+        assert( data[0] == tag);
+        unlink( data);
+        n = n + 1;
+    }
+    out( done, 1);
+}
+`, vm.Config{MaxLiveObjects: 16})
+	d := &vm.CollectReader{}
+	if err := m.BindReader("done", d); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if m.Heap().Live() != 0 {
+		t.Errorf("heap live = %d, want 0", m.Heap().Live())
+	}
+}
+
+func TestWholeValueBindingSharing(t *testing.T) {
+	// Sender keeps its variable after sending; receiver binds the whole
+	// value. Both unlink; no leak, no double free.
+	m := newMachine(t, `
+type dataT = array of int
+channel c: dataT
+channel done: int external reader
+process sender {
+    $d: dataT = { 4 -> 42};
+    out( c, d);
+    assert( d[0] == 42);
+    unlink( d);
+}
+process receiver {
+    in( c, $x);
+    assert( x[3] == 42);
+    unlink( x);
+    out( done, 1);
+}
+`, vm.Config{MaxLiveObjects: 8})
+	d := &vm.CollectReader{}
+	if err := m.BindReader("done", d); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if m.Heap().Live() != 0 {
+		t.Errorf("heap live = %d, want 0", m.Heap().Live())
+	}
+}
+
+func TestBreakAndNestedLoops(t *testing.T) {
+	m := newMachine(t, `
+channel outC: int external reader
+process p {
+    $total = 0;
+    $i = 0;
+    while (true) {
+        if (i == 5) { break; }
+        $j = 0;
+        while (true) {
+            if (j == 3) { break; }
+            total = total + 1;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    out( outC, total);
+}
+`, vm.Config{})
+	o := &vm.CollectReader{}
+	if err := m.BindReader("outC", o); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if o.Values[0].Int() != 15 {
+		t.Errorf("total = %d, want 15", o.Values[0].Int())
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right of && must not evaluate when the left
+	// is false.
+	m := newMachine(t, `
+channel outC: int external reader
+process p {
+    $x = 0;
+    $ok = false;
+    if (x != 0 && 10 / x > 1) { ok = true; }
+    if (x == 0 || 10 / x > 1) { out( outC, 1); }
+}
+`, vm.Config{})
+	o := &vm.CollectReader{}
+	if err := m.BindReader("outC", o); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if len(o.Values) != 1 {
+		t.Errorf("short-circuit || failed")
+	}
+}
+
+func TestMutabilityCastRoundTrip(t *testing.T) {
+	m := newMachine(t, `
+channel c: array of int
+channel done: int external reader
+process maker {
+    $a: #array of int = #{ 4 -> 0};
+    a[0] = 9;
+    a[3] = 7;
+    out( c, immutable(a));
+    unlink( a);
+}
+process user {
+    in( c, $d);
+    $mcopy = mutable(d);
+    mcopy[1] = d[0] + d[3];
+    assert( mcopy[1] == 16);
+    unlink( d);
+    unlink( mcopy);
+    out( done, 1);
+}
+`, vm.Config{MaxLiveObjects: 8})
+	d := &vm.CollectReader{}
+	if err := m.BindReader("done", d); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if m.Heap().Live() != 0 {
+		t.Errorf("heap live = %d, want 0", m.Heap().Live())
+	}
+}
+
+func runBothModes(t *testing.T, src string, drive func(m *vm.Machine) []int64) {
+	t.Helper()
+	var results [][]int64
+	for _, cfg := range []vm.Config{{}, {UseWaitQueues: true}, {ForceDeepCopy: true}} {
+		m := newMachine(t, src, cfg)
+		results = append(results, drive(m))
+	}
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("mode %d produced %d values, mode 0 produced %d", i, len(results[i]), len(results[0]))
+		}
+		for j := range results[i] {
+			if results[i][j] != results[0][j] {
+				t.Errorf("mode %d value %d = %d, mode 0 = %d", i, j, results[i][j], results[0][j])
+			}
+		}
+	}
+}
+
+func TestModesAgree(t *testing.T) {
+	// Wait-queue mode and deep-copy mode must be observationally identical
+	// to the default (bit-mask, refcount-transfer) mode.
+	runBothModes(t, pageTableSrc, func(m *vm.Machine) []int64 {
+		user := &vm.QueueWriter{}
+		net := &vm.CollectReader{}
+		if err := m.BindWriter("userReqC", user); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.BindReader("SM2C", net); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			va := int64(i % 3)
+			pa := int64(100 + i)
+			user.Push(1, func(mm *vm.Machine) vm.Value {
+				updateT := mm.Prog.ChannelByName("userReqC").Elem.Fields[1].Type
+				userT := mm.Prog.ChannelByName("userReqC").Elem
+				return mm.NewUnionV(userT, 1, mm.NewRecordV(updateT, vm.IntVal(va), vm.IntVal(pa)))
+			})
+			dest, size := int64(i), int64(2+i%2)
+			user.Push(0, func(mm *vm.Machine) vm.Value {
+				sendT := mm.Prog.ChannelByName("userReqC").Elem.Fields[0].Type
+				userT := mm.Prog.ChannelByName("userReqC").Elem
+				return mm.NewUnionV(userT, 0, mm.NewRecordV(sendT, vm.IntVal(dest), vm.IntVal(va), vm.IntVal(size)))
+			})
+		}
+		if res := m.Run(); res != vm.RunIdle {
+			t.Fatalf("result %v (fault: %v)", res, m.Fault())
+		}
+		var flat []int64
+		for _, v := range net.Values {
+			flat = append(flat, v.Field(0).Int())
+			data := v.Field(1)
+			flat = append(flat, int64(len(data.Obj.Elems)))
+			for i := range data.Obj.Elems {
+				flat = append(flat, data.Field(i).Int())
+			}
+		}
+		return flat
+	})
+}
+
+func TestManualModeEnabledComms(t *testing.T) {
+	m := newMachine(t, `
+channel c: int
+process sender { out( c, 42); }
+process receiver { in( c, $v); assert( v == 42); }
+`, vm.Config{Manual: true})
+	m.Settle()
+	if !m.Quiescent() {
+		t.Fatal("machine not quiescent after settle")
+	}
+	comms := m.EnabledComms()
+	if len(comms) != 1 {
+		t.Fatalf("got %d enabled comms, want 1: %v", len(comms), comms)
+	}
+	m.FireComm(comms[0])
+	if m.Fault() != nil {
+		t.Fatalf("fault: %v", m.Fault())
+	}
+	if !m.AllHalted() {
+		t.Error("processes did not halt after the transfer")
+	}
+}
+
+func TestManualModeAltChoices(t *testing.T) {
+	// Two senders to one alt: two distinct enabled transitions.
+	m := newMachine(t, `
+channel a: int
+channel b: int
+process s1 { out( a, 1); }
+process s2 { out( b, 2); }
+process chooser {
+    alt {
+        case( in( a, $x)) { in( b, $y); }
+        case( in( b, $y)) { in( a, $x); }
+    }
+}
+`, vm.Config{Manual: true})
+	m.Settle()
+	comms := m.EnabledComms()
+	if len(comms) != 2 {
+		t.Fatalf("got %d enabled comms, want 2: %v", len(comms), comms)
+	}
+	// Fire transitions until completion: the chosen arm's body receives
+	// the other message, so two transitions are needed in total.
+	fired := 0
+	for !m.AllHalted() {
+		next := m.EnabledComms()
+		if len(next) == 0 {
+			t.Fatalf("stuck after %d transitions", fired)
+		}
+		m.FireComm(next[0])
+		if m.Fault() != nil {
+			t.Fatalf("fault: %v", m.Fault())
+		}
+		fired++
+	}
+	if fired != 2 {
+		t.Errorf("fired %d transitions, want 2", fired)
+	}
+}
+
+func TestManualDeadlockDetection(t *testing.T) {
+	m := newMachine(t, `
+channel a: int
+channel b: int
+process p { in( a, $x); out( b, 1); }
+process q { in( b, $y); out( a, 2); }
+`, vm.Config{Manual: true})
+	m.Settle()
+	if !m.Deadlocked() {
+		t.Error("classic cross-wait deadlock not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := newMachine(t, `
+channel c: int
+process sender { $i = 0; while (i < 3) { out( c, i); i = i + 1; } }
+process receiver { $n = 0; while (n < 3) { in( c, $v); n = n + 1; } }
+`, vm.Config{Manual: true})
+	m.Settle()
+	snap := m.EncodeState()
+	cl := m.Clone()
+	if cl.EncodeState() != snap {
+		t.Fatal("clone state differs from original")
+	}
+	comms := m.EnabledComms()
+	m.FireComm(comms[0])
+	if m.EncodeState() == snap {
+		t.Error("state unchanged after firing a transition")
+	}
+	if cl.EncodeState() != snap {
+		t.Error("clone mutated by running the original")
+	}
+	// The clone can take the same step and reach the same state.
+	cl.FireComm(comms[0])
+	if cl.EncodeState() != m.EncodeState() {
+		t.Error("same transition from same state produced different states")
+	}
+}
+
+func TestAltSendPostponedAllocation(t *testing.T) {
+	// The §6.1 optimization: the out arm's record is only allocated when
+	// the arm commits. With no receiver ever ready, no allocation happens.
+	src := `
+type msgT = record of { a: int, b: int}
+channel c: msgT
+channel tick: int external writer
+interface ti( out tick) { T( $v) }
+process p {
+    $n = 0;
+    while (true) {
+        alt {
+            case( in( tick, $v)) { n = n + 1; }
+            case( out( c, { n, n})) { skip; }
+        }
+    }
+}
+process q {
+    while (true) {
+        in( tick, $v);
+    }
+}
+`
+	_ = src
+	// The two processes both read tick; patterns overlap, so this program
+	// is rejected. Use a simpler single-process probe instead.
+	m := newMachine(t, `
+type msgT = record of { a: int, b: int}
+channel c: msgT
+channel tick: int external writer
+interface ti( out tick) { T( $v) }
+process p {
+    $n = 0;
+    while (n < 5) {
+        alt {
+            case( in( tick, $v)) { n = n + 1; }
+            case( out( c, { n, n})) { skip; }
+        }
+    }
+}
+`, vm.Config{})
+	in := &vm.QueueWriter{}
+	if err := m.BindWriter("tick", in); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		in.Push(0, func(_ *vm.Machine) vm.Value { return vm.IntVal(1) })
+	}
+	if res := m.Run(); res != vm.RunHalted {
+		t.Fatalf("result %v (fault: %v)", res, m.Fault())
+	}
+	if m.Stats.Allocs != 0 {
+		t.Errorf("allocations = %d, want 0 (out-arm value must not be evaluated)", m.Stats.Allocs)
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	m := newMachine(t, add5Src, vm.Config{})
+	in := &vm.QueueWriter{}
+	outv := &vm.CollectReader{}
+	if err := m.BindWriter("inC", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindReader("outC", outv); err != nil {
+		t.Fatal(err)
+	}
+	in.Push(0, func(_ *vm.Machine) vm.Value { return vm.IntVal(1) })
+	m.Run()
+	if m.Cycles <= 0 {
+		t.Error("no cycles charged")
+	}
+	if m.Stats.Instrs <= 0 || m.Stats.Rendezvous < 1 {
+		t.Errorf("stats not collected: %+v", m.Stats)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	m := newMachine(t, `process p { while (true) { skip; } }`, vm.Config{StepBudget: 1000})
+	if res := m.Run(); res != vm.RunFault {
+		t.Fatalf("result %v, want fault", res)
+	}
+	if m.Fault().Kind != vm.FaultStep {
+		t.Errorf("fault %v, want step budget", m.Fault().Kind)
+	}
+}

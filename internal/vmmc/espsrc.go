@@ -1,0 +1,219 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"esplang/internal/nic"
+)
+
+// ESPSource returns the VMMC firmware written in ESP (the paper's §4.6
+// case study, in the style of Appendix B), instantiated with the hardware
+// configuration's constants. Seven processes and fifteen channels:
+//
+//	pageTable — virtual-to-physical translation (Appendix B's process)
+//	sm1       — user send requests: split into pages, translate, fetch
+//	hdma      — serializes the single host-DMA engine
+//	sender    — sliding window, sequence numbers, transmission (SM2)
+//	retrans   — retransmission-buffer bookkeeping (§5.3's protocol)
+//	receiver  — arriving packets: acks, translation, ack policy
+//	storeMgr  — host-DMA stores and completion notifications
+//
+// The external channels are the NIC hardware: userReqC (host request
+// queue), hdmaReqC/hdmaDoneC (host DMA engine), netSendC/netRecvC
+// (network DMAs), notifyC (notification queue). The Go bridge in espfw.go
+// plays the role of the paper's programmer-supplied helper C code —
+// device-register access and packet marshalling/unmarshalling, including
+// stamping the piggybacked cumulative ack at marshalling time.
+func ESPSource(cfg nic.Config) string {
+	return fmt.Sprintf(espSourceTemplate,
+		cfg.PageSize, cfg.SmallMsgMax, cfg.SendWindow, cfg.AckCoalesce, ptEntries)
+}
+
+// ptEntries is the number of translation-table entries the firmware keeps
+// in SRAM.
+const ptEntries = 64
+
+const espSourceTemplate = `
+// VMMC firmware in ESP (PLDI 2001 case study, Appendix B style).
+
+type sendT = record of { dest: int, vaddr: int, raddr: int, size: int, msgid: int}
+type updateT = record of { vaddr: int, paddr: int}
+type userT = union of { send: sendT, update: updateT}
+type pktT = record of { seq: int, ack: int, isack: int, msgid: int,
+                        raddr: int, offset: int, size: int, total: int,
+                        last: int, dest: int}
+
+const PAGE = %d;
+const SMALL = %d;
+const WINDOW = %d;
+const ACKEVERY = %d;
+const PTSIZE = %d;
+
+// External channels: the device registers and queues (helper C code).
+channel userReqC: userT external writer
+channel hdmaReqC: record of { addr: int, size: int, tag: int} external reader
+channel hdmaDoneC: record of { tag: int} external writer
+channel netSendC: pktT external reader
+channel netRecvC: pktT external writer
+channel notifyC: record of { src: int, msgid: int, total: int} external reader
+
+// Internal channels.
+channel ptReqC: record of { ret: int, vaddr: int}
+channel ptReplyC: record of { ret: int, paddr: int}
+channel hreqC: record of { ret: int, addr: int, size: int}
+channel hreplyC: record of { ret: int}
+channel stageC: pktT
+channel ackInfoC: record of { ack: int}
+channel sentC: record of { seq: int}
+channel relC: record of { ack: int}
+channel storeC: record of { paddr: int, size: int, src: int, msgid: int, total: int, last: int}
+
+// BEGIN-EXTERNAL-INTERFACES
+interface userReq( out userReqC) {
+    Send( { send |> { $dest, $vaddr, $raddr, $size, $msgid}}),
+    Update( { update |> { $vaddr, $paddr}}),
+}
+interface hdmaDone( out hdmaDoneC) {
+    Done( { $tag}),
+}
+interface netRecv( out netRecvC) {
+    Pkt( { $seq, $ack, $isack, $msgid, $raddr, $offset, $size, $total, $last, $src}),
+}
+// END-EXTERNAL-INTERFACES
+
+// Virtual-to-physical translation (Appendix B). Entries store paddr+1;
+// zero means unmapped, which translates to the identity mapping.
+process pageTable {
+    $table: #array of int = #{ PTSIZE -> 0, ... };
+    while (true) {
+        alt {
+            case( in( ptReqC, { $ret, $vaddr})) {
+                $p = table[(vaddr / PAGE) %% PTSIZE];
+                if (p == 0) { p = vaddr + 1; }
+                out( ptReplyC, { ret, p - 1});
+            }
+            case( in( userReqC, { update |> { $vaddr, $paddr}})) {
+                table[(vaddr / PAGE) %% PTSIZE] = paddr + 1;
+            }
+        }
+    }
+}
+
+// User send requests: split into page chunks; translate and fetch each
+// chunk through the host DMA; hand packets to the sender. Small messages
+// arrive inline with the request and skip the fetch (the 32-byte special
+// case).
+process sm1 {
+    while (true) {
+        in( userReqC, { send |> { $dest, $vaddr, $raddr, $size, $msgid}});
+        $off = 0;
+        while (off < size) {
+            $chunk = size - off;
+            if (chunk > PAGE) { chunk = PAGE; }
+            if (size > SMALL) {
+                out( ptReqC, { @, vaddr + off});
+                in( ptReplyC, { @, $paddr});
+                out( hreqC, { @, paddr, chunk});
+                in( hreplyC, { @});
+            }
+            $islast = 0;
+            if (off + chunk == size) { islast = 1; }
+            out( stageC, { 0, 0, 0, msgid, raddr + off, off, chunk, size, islast, dest});
+            off = off + chunk;
+        }
+    }
+}
+
+// The single host-DMA engine, serialized: forward a request to the
+// hardware (the out blocks while the engine is busy), await completion,
+// reply to the requesting process.
+process hdma {
+    while (true) {
+        in( hreqC, { $ret, $addr, $size});
+        out( hdmaReqC, { addr, size, ret});
+        in( hdmaDoneC, { $tag});
+        out( hreplyC, { tag});
+    }
+}
+
+// Transmission (the paper's SM2): owns the sequence space and the send
+// window. The ack field is stamped by the marshalling helper (-1 here).
+process sender {
+    $nextseq = 1;
+    $lastack = 0;
+    while (true) {
+        alt {
+            case( in( ackInfoC, { $a})) {
+                if (a > lastack) {
+                    lastack = a;
+                    out( relC, { a});
+                }
+            }
+            case( nextseq - lastack <= WINDOW,
+                  in( stageC, { _, _, _, $msgid, $raddr, $offset, $size, $total, $last, $dest})) {
+                out( netSendC, { nextseq, -1, 0, msgid, raddr, offset, size, total, last, dest});
+                out( sentC, { nextseq});
+                nextseq = nextseq + 1;
+            }
+        }
+    }
+}
+
+// Retransmission bookkeeping (§5.3): retain a buffer per sent packet,
+// release on cumulative ack. The simulated wire is lossless, so the
+// timers never fire, but the window invariants are asserted — this is the
+// process the verifier checks.
+process retrans {
+    $maxseq = 0;
+    $maxack = 0;
+    while (true) {
+        alt {
+            case( in( sentC, { $s})) {
+                assert( s == maxseq + 1);
+                maxseq = s;
+            }
+            case( in( relC, { $a})) {
+                if (a > maxack) { maxack = a; }
+                assert( maxack <= maxseq);
+            }
+        }
+    }
+}
+
+// Arriving packets: release the window via the piggybacked ack, translate
+// the destination address, hand the chunk to the store manager, and
+// coalesce explicit acks when no data flows back. Handing off (rather
+// than awaiting the store) lets packet processing overlap the host DMA.
+process receiver {
+    $unacked = 0;
+    while (true) {
+        in( netRecvC, { $seq, $ack, $isack, $msgid, $raddr, $offset, $size, $total, $last, $src});
+        if (ack > 0) {
+            out( ackInfoC, { ack});
+        }
+        if (isack == 0) {
+            out( ptReqC, { @, raddr});
+            in( ptReplyC, { @, $paddr});
+            out( storeC, { paddr, size, src, msgid, total, last});
+            unacked = unacked + 1;
+            if (unacked >= ACKEVERY) {
+                out( netSendC, { 0, -1, 1, 0, 0, 0, 0, 0, 0, src});
+                unacked = 0;
+            }
+        }
+    }
+}
+
+// Store manager: drives host-DMA stores to completion and posts the
+// completion notification after the final chunk of a message landed.
+process storeMgr {
+    while (true) {
+        in( storeC, { $paddr, $size, $src, $msgid, $total, $last});
+        out( hreqC, { @, paddr, size});
+        in( hreplyC, { @});
+        if (last == 1) {
+            out( notifyC, { src, msgid, total});
+        }
+    }
+}
+`

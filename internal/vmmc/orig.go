@@ -1,0 +1,524 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"esplang/internal/nic"
+)
+
+// This file is the faithful re-creation of the original hand-written VMMC
+// firmware (the paper's 15600 lines of C, §2.2 and Appendix A): an
+// event-driven state machine program built on the setHandler / setState /
+// deliverEvent interface, communicating between state machines through
+// shared global variables, with hand-optimized fast paths that read the
+// state of several DMA engines and state machines at once and short-cut
+// the normal dispatch sequence.
+//
+// Execution costs are charged in LANai cycles per primitive: every status
+// poll, event dispatch, state transition, table lookup, DMA setup, header
+// build, and queue operation pays a fixed price; the fast path pays one
+// combined (cheaper) price, which is exactly the saving the paper's
+// Figure 5 attributes to it.
+
+// Cycle prices of the baseline firmware's primitives.
+const (
+	cPoll       = 4  // read the status registers once
+	cDispatch   = 24 // deliverEvent: table lookup plus indirect call
+	cTransition = 5  // setState
+	cHandler    = 12 // handler prologue
+	cGlobals    = 10 // save/restore values through global variables (§2.2: "all the values that are needed later have to be saved explicitly in global variables")
+	cTranslate  = 22 // page-table lookup
+	cDMASetup   = 30 // program a DMA engine
+	cPktHeader  = 20 // marshal a packet header
+	cAckProc    = 16 // process a piggybacked ack, release window slots
+	cRetrans    = 14 // retransmission bookkeeping (retain/release, timers)
+	cNotify     = 22 // post a completion notification
+	cQueueOp    = 7  // stage/unstage a packet buffer
+	cWindow     = 6  // window occupancy check
+	cFastPath   = 38 // the whole combined fast-path handler (registers only)
+
+	// cutThroughLead is how much of a page the fast path lets the host
+	// DMA fetch before it fires up the network DMA behind it.
+	cutThroughLead = 512
+)
+
+// state machines and their states/events, as in Appendix A
+type smID int
+
+const (
+	sm1 smID = iota // user request processing
+	sm2             // network send
+	sm3             // receive processing
+	numSMs
+)
+
+type smState int
+
+const (
+	stWaitReq smState = iota
+	stWaitDMA
+	stWaitSM2
+	stWaitWindow
+	stIdle
+)
+
+type smEvent int
+
+const (
+	evUserReq smEvent = iota
+	evDMAFree
+	evSM2Ready
+	evPktArrived
+	evStoreDone
+	evAckAdvance
+)
+
+type handlerKey struct {
+	sm smID
+	st smState
+	ev smEvent
+}
+
+// OrigFirmware is one NIC's instance of the baseline.
+type OrigFirmware struct {
+	fastPaths bool
+
+	cycles int64 // consumed in the current Run
+
+	// Appendix-A machinery.
+	handlers map[handlerKey]func()
+	states   [numSMs]smState
+
+	// Globals shared between the state machines (the paper's pAddr,
+	// sendData, reqSM2, ...).
+	n *nic.NIC // valid during Run
+
+	pageTable map[int64]int64
+
+	// Send side.
+	curReq    *nic.HostRequest
+	curOffset int
+	fetchTag  int64
+	staged    []*nic.Packet // fetched chunks waiting for window + send DMA
+	nextSeq   int64
+	lastAck   int64 // highest cumulative ack received
+	inflight  int
+
+	// Receive side.
+	lastRecvSeq int64 // ack-on-arrival cumulative counter
+	storeQ      []*nic.Packet
+	storing     *nic.Packet
+	recvBytes   map[int64]int // per msgID bytes stored
+	unacked     int
+	wantAck     bool
+}
+
+// NewOrigFirmware creates the baseline firmware, with or without the
+// hand-optimized fast paths.
+func NewOrigFirmware(fastPaths bool) *OrigFirmware {
+	f := &OrigFirmware{
+		fastPaths:   fastPaths,
+		handlers:    make(map[handlerKey]func()),
+		pageTable:   make(map[int64]int64),
+		recvBytes:   make(map[int64]int),
+		nextSeq:     1,
+		lastRecvSeq: 0,
+	}
+	// main(): initialize the handler tables (Appendix A).
+	f.setHandler(sm1, stWaitReq, evUserReq, f.handleReq)
+	f.setHandler(sm1, stWaitDMA, evDMAFree, f.fetchData)
+	f.setHandler(sm1, stWaitSM2, evSM2Ready, f.syncSM2)
+	f.setState(sm1, stWaitReq)
+	f.setState(sm2, stIdle)
+	f.setState(sm3, stIdle)
+	return f
+}
+
+// Name implements nic.Firmware.
+func (f *OrigFirmware) Name() string {
+	if f.fastPaths {
+		return "vmmcOrig"
+	}
+	return "vmmcOrigNoFastPaths"
+}
+
+func (f *OrigFirmware) charge(c int64) {
+	f.cycles += c
+	if f.n != nil {
+		f.n.ChargeCPU(c)
+	}
+}
+
+func (f *OrigFirmware) setHandler(sm smID, st smState, ev smEvent, h func()) {
+	f.handlers[handlerKey{sm, st, ev}] = h
+}
+
+func (f *OrigFirmware) setState(sm smID, st smState) {
+	f.charge(cTransition)
+	f.states[sm] = st
+}
+
+func (f *OrigFirmware) isState(sm smID, st smState) bool { return f.states[sm] == st }
+
+func (f *OrigFirmware) deliverEvent(sm smID, ev smEvent) {
+	f.charge(cDispatch)
+	if h := f.handlers[handlerKey{sm, f.states[sm], ev}]; h != nil {
+		h()
+	}
+}
+
+// translate looks an address up in the page table (identity for unmapped
+// pages, like a warmed translation table).
+func (f *OrigFirmware) translate(vaddr int64) int64 {
+	f.charge(cTranslate)
+	if p, ok := f.pageTable[vaddr]; ok {
+		return p
+	}
+	return vaddr
+}
+
+// Run implements nic.Firmware: the firmware's main polling loop.
+func (f *OrigFirmware) Run(n *nic.NIC) int64 {
+	f.n = n
+	f.cycles = 0
+	// Charge the cycles through ChargeCPU as they accrue, so DMA issue
+	// times line up; Run's return is the total.
+	for {
+		progress := false
+		f.cycles += cPoll
+		n.ChargeCPU(cPoll)
+
+		// DMA completions first (the status register the real firmware
+		// polls most urgently).
+		if d, ok := n.PopDMADone(); ok {
+			f.dmaDone(d)
+			progress = true
+		}
+		// Arriving packets.
+		if !progress {
+			if p, ok := n.PopPacket(); ok {
+				f.handlePkt(p)
+				progress = true
+			}
+		}
+		// A fetch that found the host DMA busy retries when the engine
+		// frees (the engine-free wakeup has no completion record).
+		if !progress && f.isState(sm1, stWaitDMA) && f.fetchTag == 0 &&
+			f.curReq != nil && n.HostDMAFree() {
+			f.deliverEvent(sm1, evDMAFree)
+			progress = true
+		}
+		// New host requests (when SM1 is idle).
+		if !progress && f.isState(sm1, stWaitReq) && n.HaveRequest() {
+			r, _ := n.PopRequest()
+			f.charge(cQueueOp)
+			if r.IsUpdate {
+				f.charge(cHandler)
+				f.pageTable[r.UpdVAddr] = r.UpdPAddr
+			} else {
+				f.curReq = &r
+				f.curOffset = 0
+				f.deliverEvent(sm1, evUserReq)
+			}
+			progress = true
+		}
+		// Push staged packets out.
+		if f.trySend() {
+			progress = true
+		}
+		// Explicit ack when due and nothing piggybacks.
+		if f.wantAck && len(f.staged) == 0 && n.SendDMAFree() {
+			f.charge(cPktHeader + cDMASetup)
+			n.SendPacket(&nic.Packet{Src: n.ID, IsAck: true, Ack: f.lastRecvSeq})
+			f.wantAck = false
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	f.n = nil
+	return f.cycles
+}
+
+// ---------------------------------------------------------------------------
+// Send path (SM1): Appendix A's handleReq / fetchData / syncSM2
+
+// handleReq processes a user send request. The fast path (§2.2: taken
+// "if the network DMA is free and no other request is currently being
+// processed", reading the state of multiple DMAs and updating the
+// retransmission globals directly) handles single-chunk requests in one
+// combined handler.
+func (f *OrigFirmware) handleReq() {
+	f.charge(cHandler)
+	r := f.curReq
+	small := r.Size <= f.n.Cfg.SmallMsgMax
+	single := small || r.Size <= f.n.Cfg.PageSize
+
+	if f.fastPaths && single && len(f.staged) == 0 && f.inflight < f.n.Cfg.SendWindow &&
+		f.n.SendDMAFree() && (small || f.n.HostDMAFree()) {
+		// FAST PATH: one combined handler, no state transitions, no
+		// SM2 dispatch. It violates every abstraction boundary: it reads
+		// the DMA status registers, the window state and SM2's queue, and
+		// updates the retransmission globals inline.
+		f.charge(cFastPath)
+		if small {
+			// Data came inline with the request: send immediately.
+			f.sendChunkNow(r, 0, r.Size)
+			f.curReq = nil
+			return
+		}
+		f.translate(r.VAddr)
+		// Cut-through: start the network DMA as soon as the head of the
+		// page is in SRAM, streaming behind the host DMA.
+		f.n.StartHostDMACutThrough(r.Size, cutThroughLead, 1000)
+		f.setState(sm1, stWaitSM2) // fast fetch outstanding
+		return
+	}
+
+	// SLOW PATH: the Appendix A sequence. Values needed by later
+	// handlers go through global variables (§2.2).
+	f.charge(cGlobals)
+	if small {
+		f.charge(cPktHeader)
+		f.stageChunk(r, 0, r.Size)
+		f.curReq = nil
+		f.deliverEvent(sm2, evSM2Ready)
+		return
+	}
+	f.startFetch()
+}
+
+// startFetch translates and fetches the next chunk of the current request.
+// SM1 stays in stWaitDMA until the fetch completes (or until the engine
+// frees when it was busy).
+func (f *OrigFirmware) startFetch() {
+	r := f.curReq
+	if r == nil {
+		return
+	}
+	chunk := r.Size - f.curOffset
+	if chunk > f.n.Cfg.PageSize {
+		chunk = f.n.Cfg.PageSize
+	}
+	f.translate(r.VAddr + int64(f.curOffset))
+	f.charge(cDMASetup)
+	f.setState(sm1, stWaitDMA)
+	if f.n.StartHostDMA(chunk, 2000) {
+		f.fetchTag = 2000
+	} else {
+		f.fetchTag = 0 // engine busy: retry on the next DMA-free event
+	}
+}
+
+// fetchData continues after the host DMA freed up (Appendix A).
+func (f *OrigFirmware) fetchData() {
+	f.charge(cHandler)
+	f.startFetch()
+}
+
+// syncSM2 hands a fetched chunk to SM2 (Appendix A).
+func (f *OrigFirmware) syncSM2() {
+	f.charge(cHandler + cGlobals)
+	r := f.curReq
+	if r == nil {
+		return
+	}
+	chunk := r.Size - f.curOffset
+	if chunk > f.n.Cfg.PageSize {
+		chunk = f.n.Cfg.PageSize
+	}
+	f.stageChunk(r, f.curOffset, chunk)
+	f.curOffset += chunk
+	f.deliverEvent(sm2, evSM2Ready)
+	if f.curOffset >= r.Size {
+		f.curReq = nil
+		f.setState(sm1, stWaitReq)
+	} else {
+		f.startFetch()
+	}
+}
+
+// stageChunk queues a packet buffer for SM2.
+func (f *OrigFirmware) stageChunk(r *nic.HostRequest, off, size int) {
+	f.charge(cPktHeader + cQueueOp)
+	f.staged = append(f.staged, &nic.Packet{
+		Src:    f.n.ID,
+		Dst:    r.Dest,
+		MsgID:  r.MsgID,
+		RAddr:  r.RAddr + int64(off),
+		Offset: off,
+		Size:   size,
+		Total:  r.Size,
+		Last:   off+size >= r.Size,
+	})
+}
+
+// sendChunkNow is the fast path's inline transmission.
+func (f *OrigFirmware) sendChunkNow(r *nic.HostRequest, off, size int) {
+	p := &nic.Packet{
+		Src:    f.n.ID,
+		Dst:    r.Dest,
+		MsgID:  r.MsgID,
+		RAddr:  r.RAddr + int64(off),
+		Offset: off,
+		Size:   size,
+		Total:  r.Size,
+		Last:   off+size >= r.Size,
+	}
+	p.Seq = f.nextSeq
+	p.Ack = f.lastRecvSeq
+	f.nextSeq++
+	f.inflight++
+	f.charge(cDMASetup + cRetrans)
+	f.n.SendPacket(p)
+	f.wantAck = false // piggybacked
+}
+
+// trySend pushes staged packets out while the window and send DMA allow
+// (the SM2 state machine's work).
+func (f *OrigFirmware) trySend() bool {
+	f.charge(cWindow)
+	if len(f.staged) == 0 || f.inflight >= f.n.Cfg.SendWindow || !f.n.SendDMAFree() {
+		return false
+	}
+	f.charge(cDispatch + cHandler + cGlobals) // SM2 dispatch
+	p := f.staged[0]
+	f.staged = f.staged[1:]
+	f.charge(cQueueOp)
+	p.Seq = f.nextSeq
+	p.Ack = f.lastRecvSeq
+	f.nextSeq++
+	f.inflight++
+	// The retransmission state machine is dispatched separately on the
+	// slow path; the fast path updates its globals inline.
+	f.charge(cDMASetup + cDispatch + cHandler + cRetrans)
+	f.n.SendPacket(p)
+	f.wantAck = false // piggybacked
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// DMA completions
+
+func (f *OrigFirmware) dmaDone(d nic.DMADone) {
+	switch {
+	case d.Engine == f.n.HostDMA && d.Tag == 1000:
+		// Fast-path fetch completed: transmit directly, falling back to
+		// staging when the send DMA got grabbed in the meantime.
+		f.charge(cHandler)
+		if r := f.curReq; r != nil {
+			if f.n.SendDMAFree() && f.inflight < f.n.Cfg.SendWindow {
+				f.sendChunkNow(r, 0, r.Size)
+			} else {
+				f.stageChunk(r, 0, r.Size)
+			}
+			f.curReq = nil
+		}
+		f.setState(sm1, stWaitReq)
+	case d.Engine == f.n.HostDMA && d.Tag == 2000:
+		// Slow-path fetch completed: hand to SM2.
+		f.fetchTag = 0
+		f.syncSM2()
+	case d.Engine == f.n.HostDMA && d.Tag == 3000:
+		// Store to host memory completed.
+		f.storeDone()
+	default:
+		// Send DMA freed: trySend in the main loop picks it up.
+		f.charge(cHandler)
+	}
+	f.maybeResumeSM1()
+	f.pumpStore()
+}
+
+// maybeResumeSM1 retries a fetch that found the host DMA busy.
+func (f *OrigFirmware) maybeResumeSM1() {
+	if f.isState(sm1, stWaitDMA) && f.fetchTag == 0 && f.curReq != nil && f.n.HostDMAFree() {
+		f.deliverEvent(sm1, evDMAFree)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Receive path (SM3)
+
+func (f *OrigFirmware) handlePkt(p *nic.Packet) {
+	if f.fastPaths && !p.IsAck && f.storing == nil && len(f.storeQ) == 0 && f.n.HostDMAFree() {
+		// RECEIVE FAST PATH: one combined handler processes the ack,
+		// advances the window, translates, and starts the store, with the
+		// retransmission globals updated inline.
+		f.charge(cFastPath + cTranslate + cDMASetup)
+		if p.Ack > f.lastAck {
+			f.inflight -= int(p.Ack - f.lastAck)
+			f.lastAck = p.Ack
+		}
+		f.lastRecvSeq = p.Seq
+		f.unacked++
+		if f.unacked >= f.n.Cfg.AckCoalesce {
+			f.wantAck = true
+			f.unacked = 0
+		}
+		f.storing = p
+		f.n.StartHostDMA(p.Size, 3000)
+		return
+	}
+
+	f.charge(cDispatch + cHandler + cGlobals)
+	// Piggybacked ack: release window slots, then dispatch the
+	// retransmission state machine to release its buffers.
+	f.charge(cAckProc + cDispatch + cRetrans)
+	if p.Ack > f.lastAck {
+		f.inflight -= int(p.Ack - f.lastAck)
+		f.lastAck = p.Ack
+	}
+	if p.IsAck {
+		return
+	}
+	// Ack-on-arrival: the cumulative counter the next outgoing packet
+	// piggybacks.
+	f.lastRecvSeq = p.Seq
+	f.unacked++
+	if f.unacked >= f.n.Cfg.AckCoalesce {
+		f.wantAck = true
+		f.unacked = 0
+	}
+	f.translate(p.RAddr)
+	f.charge(cQueueOp)
+	f.storeQ = append(f.storeQ, p)
+	f.pumpStore()
+}
+
+// pumpStore starts the next host-memory store when the engine is free.
+func (f *OrigFirmware) pumpStore() {
+	if f.storing != nil || len(f.storeQ) == 0 || !f.n.HostDMAFree() {
+		return
+	}
+	f.storing = f.storeQ[0]
+	f.storeQ = f.storeQ[1:]
+	f.charge(cDMASetup)
+	f.n.StartHostDMA(f.storing.Size, 3000)
+}
+
+func (f *OrigFirmware) storeDone() {
+	f.charge(cHandler)
+	p := f.storing
+	f.storing = nil
+	if p == nil {
+		return
+	}
+	f.recvBytes[p.MsgID] += p.Size
+	if f.recvBytes[p.MsgID] >= p.Total {
+		f.charge(cNotify)
+		f.n.PostNotification(nic.Notification{From: p.Src, MsgID: p.MsgID, Size: p.Total})
+		delete(f.recvBytes, p.MsgID)
+	}
+	f.pumpStore()
+}
+
+var _ nic.Firmware = (*OrigFirmware)(nil)
+
+func init() {
+	// Compile-time-ish sanity: the handler keys must be distinct.
+	if numSMs != 3 {
+		panic(fmt.Sprintf("vmmc: unexpected state machine count %d", numSMs))
+	}
+}

@@ -1,0 +1,270 @@
+package vmmc
+
+import (
+	"testing"
+
+	esplang "esplang"
+	"esplang/internal/nic"
+)
+
+var allFlavors = []Flavor{ESP, Orig, OrigNoFastPaths}
+
+func TestESPFirmwareCompiles(t *testing.T) {
+	cfg := nic.DefaultConfig()
+	prog, err := esplang.Compile(ESPSource(cfg), esplang.CompileOptions{Name: "vmmcESP"})
+	if err != nil {
+		t.Fatalf("ESP firmware does not compile: %v", err)
+	}
+	s := prog.Stats()
+	if s.Processes != 7 {
+		t.Errorf("firmware has %d processes, want 7 (§4.6)", s.Processes)
+	}
+	if s.Channels != 15 {
+		t.Errorf("firmware has %d channels, want 15", s.Channels)
+	}
+	t.Logf("ESP firmware: %d lines (%d decl + %d process), %d processes, %d channels, %d instructions",
+		s.SourceLines, s.DeclLines, s.ProcessLines, s.Processes, s.Channels, s.Instructions)
+}
+
+func TestSingleMessageDelivery(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			c, err := NewCluster(fl, nic.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Hosts[0].Send(0x1000, 0x2000, 512)
+			c.Run(0)
+			if len(c.Hosts[1].Recvd) != 1 {
+				t.Fatalf("host 1 received %d notifications, want 1", len(c.Hosts[1].Recvd))
+			}
+			nt := c.Hosts[1].Recvd[0]
+			if nt.Size != 512 || nt.From != 0 || nt.MsgID != 1 {
+				t.Errorf("notification = %+v", nt)
+			}
+			if nt.Time <= 0 {
+				t.Error("notification carries no completion time")
+			}
+		})
+	}
+}
+
+func TestSmallMessageInline(t *testing.T) {
+	// Messages <= 32 bytes skip the host-DMA fetch on the send side.
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			cfg := nic.DefaultConfig()
+			c, err := NewCluster(fl, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Hosts[0].Send(0, 0, 16)
+			c.Run(0)
+			if len(c.Hosts[1].Recvd) != 1 {
+				t.Fatalf("received %d, want 1", len(c.Hosts[1].Recvd))
+			}
+			// Sender-side NIC: host DMA must not have run (only the
+			// receiver's store uses it).
+			if c.NICs[0].HostDMA.Transfers != 0 {
+				t.Errorf("sender host DMA ran %d transfers for an inline message",
+					c.NICs[0].HostDMA.Transfers)
+			}
+		})
+	}
+}
+
+func TestMultiPageMessage(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			cfg := nic.DefaultConfig()
+			c, err := NewCluster(fl, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := 3*cfg.PageSize + 100 // 4 chunks
+			c.Hosts[0].Send(0, 0, size)
+			c.Run(0)
+			if len(c.Hosts[1].Recvd) != 1 {
+				t.Fatalf("received %d notifications, want 1", len(c.Hosts[1].Recvd))
+			}
+			if c.Hosts[1].Recvd[0].Size != size {
+				t.Errorf("size = %d, want %d", c.Hosts[1].Recvd[0].Size, size)
+			}
+			if got := c.NICs[0].PktsSent; got != 4 {
+				t.Errorf("sender sent %d data packets, want 4", got)
+			}
+		})
+	}
+}
+
+func TestManyMessagesAllDelivered(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			c, err := NewCluster(fl, nic.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 40
+			done := 0
+			c.Hosts[1].OnRecv = func(nic.Notification) { done++ }
+			for i := 0; i < n; i++ {
+				c.Hosts[0].Send(int64(i*64), int64(i*64), 64)
+			}
+			c.Run(0)
+			if done != n {
+				t.Fatalf("delivered %d/%d messages", done, n)
+			}
+			// Message ids must arrive in order (in-order wire + protocol).
+			for i, nt := range c.Hosts[1].Recvd {
+				if nt.MsgID != int64(i+1) {
+					t.Fatalf("notification %d has msgid %d", i, nt.MsgID)
+				}
+			}
+		})
+	}
+}
+
+func TestPageTableUpdateFlows(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			c, err := NewCluster(fl, nic.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Hosts[0].Update(0x4000, 0x9000)
+			c.Hosts[0].Send(0x4000, 0x4000, 128)
+			c.Run(0)
+			if len(c.Hosts[1].Recvd) != 1 {
+				t.Fatalf("received %d, want 1 (update must not disturb sends)", len(c.Hosts[1].Recvd))
+			}
+		})
+	}
+}
+
+func TestPingPongCompletes(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			lat, err := PingPong(fl, nic.DefaultConfig(), 4, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat <= 0 {
+				t.Errorf("latency = %f", lat)
+			}
+			t.Logf("%s: 4B one-way latency %.1f us", fl, lat/1000)
+		})
+	}
+}
+
+func TestOneWayCompletes(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			bw, err := OneWay(fl, nic.DefaultConfig(), 4096, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bw <= 0 {
+				t.Errorf("bandwidth = %f", bw)
+			}
+			t.Logf("%s: 4KB one-way bandwidth %.1f MB/s", fl, bw)
+		})
+	}
+}
+
+func TestBidirectionalCompletes(t *testing.T) {
+	for _, fl := range allFlavors {
+		t.Run(fl.String(), func(t *testing.T) {
+			bw, err := Bidirectional(fl, nic.DefaultConfig(), 4096, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bw <= 0 {
+				t.Errorf("bandwidth = %f", bw)
+			}
+			t.Logf("%s: 4KB bidirectional bandwidth %.1f MB/s", fl, bw)
+		})
+	}
+}
+
+// TestFigure5Shape checks the qualitative claims of Figure 5: ESP is the
+// slowest, the fast paths help Orig, and the gaps shrink with message
+// size.
+func TestFigure5Shape(t *testing.T) {
+	cfg := nic.DefaultConfig()
+	lat := func(fl Flavor, size int) float64 {
+		v, err := PingPong(fl, cfg, size, 10)
+		if err != nil {
+			t.Fatalf("%s size %d: %v", fl, size, err)
+		}
+		return v
+	}
+	for _, size := range []int{4, 4096} {
+		e, o, nf := lat(ESP, size), lat(Orig, size), lat(OrigNoFastPaths, size)
+		t.Logf("size %d: ESP %.1f us, Orig %.1f us, NoFast %.1f us", size, e/1000, o/1000, nf/1000)
+		if e <= o {
+			t.Errorf("size %d: ESP (%.0f) not slower than Orig (%.0f)", size, e, o)
+		}
+		if nf < o {
+			t.Errorf("size %d: NoFastPaths (%.0f) faster than Orig (%.0f)", size, nf, o)
+		}
+		if e < nf {
+			t.Errorf("size %d: ESP (%.0f) faster than NoFastPaths (%.0f)", size, e, nf)
+		}
+	}
+	// Relative gap shrinks with size.
+	gap4 := lat(ESP, 4) / lat(Orig, 4)
+	gap4k := lat(ESP, 4096) / lat(Orig, 4096)
+	t.Logf("ESP/Orig latency ratio: %.2f at 4B, %.2f at 4KB", gap4, gap4k)
+	if gap4k >= gap4 {
+		t.Errorf("gap does not shrink with size: %.2f at 4B vs %.2f at 4KB", gap4, gap4k)
+	}
+}
+
+func TestESPFirmwareNoLeaks(t *testing.T) {
+	// A long run must not grow the firmware heap (the VM's live-object
+	// bound would fault; also check the resting live count).
+	c, err := NewCluster(ESP, nic.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.Hosts[0].Send(0, 0, 256)
+	}
+	c.Run(0)
+	if len(c.Hosts[1].Recvd) != n {
+		t.Fatalf("delivered %d/%d", len(c.Hosts[1].Recvd), n)
+	}
+	for i := 0; i < 2; i++ {
+		fw := c.NICs[i].FW.(*ESPFirmware)
+		live := fw.Machine().Heap().Live()
+		// Only the page table array should rest on the heap.
+		if live > 2 {
+			t.Errorf("NIC %d firmware heap has %d live objects at rest", i, live)
+		}
+	}
+}
+
+func TestESPCyclesExceedOrig(t *testing.T) {
+	// The interpreter overhead must show up as more CPU cycles for the
+	// same workload.
+	cycles := func(fl Flavor) int64 {
+		c, err := NewCluster(fl, nic.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			c.Hosts[0].Send(0, 0, 64)
+		}
+		c.Run(0)
+		if len(c.Hosts[1].Recvd) != 20 {
+			t.Fatalf("%s: delivered %d/20", fl, len(c.Hosts[1].Recvd))
+		}
+		return c.NICs[0].CPUCycles + c.NICs[1].CPUCycles
+	}
+	e, o := cycles(ESP), cycles(Orig)
+	t.Logf("cycles for 20 x 64B: ESP %d, Orig %d (ratio %.2f)", e, o, float64(e)/float64(o))
+	if e <= o {
+		t.Errorf("ESP cycles (%d) not above Orig (%d)", e, o)
+	}
+}

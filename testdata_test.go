@@ -1,0 +1,74 @@
+package esplang_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	esplang "esplang"
+	"esplang/internal/ast"
+	"esplang/internal/parser"
+)
+
+// TestTestdataCompiles compiles every sample program and generates both
+// targets — the sanity sweep a release would gate on.
+func TestTestdataCompiles(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.esp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			prog, err := esplang.CompileFile(f, esplang.CompileOptions{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if c := prog.C(esplang.COptions{}); !strings.Contains(c, "esp_run") {
+				t.Error("C target incomplete")
+			}
+			if p := prog.Promela(esplang.PromelaOptions{}); !strings.Contains(p, "init {") {
+				t.Error("Promela target incomplete")
+			}
+			if prog.Stats().Processes == 0 {
+				t.Error("no processes compiled")
+			}
+		})
+	}
+}
+
+// TestTestdataFormatterStable: the canonical printer is a fixpoint on
+// every sample.
+func TestTestdataFormatterStable(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.esp")
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		once := ast.Print(tree)
+		tree2, err := parser.Parse([]byte(once))
+		if err != nil {
+			t.Fatalf("%s: formatted output does not reparse: %v\n%s", f, err, once)
+		}
+		if twice := ast.Print(tree2); once != twice {
+			t.Errorf("%s: printer not a fixpoint", f)
+		}
+	}
+}
+
+// TestPipelineVerifies: the closed sample passes the model checker.
+func TestPipelineVerifies(t *testing.T) {
+	prog, err := esplang.CompileFile("testdata/pipeline.esp", esplang.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Verify(esplang.VerifyOptions{})
+	if res.Violation != nil {
+		t.Fatalf("pipeline violates: %v", res.Violation)
+	}
+}
