@@ -7,7 +7,11 @@
 //	espc [flags] program.esp
 //
 // With no output flags it writes program.c and program.pml next to the
-// input.
+// input. Compile errors are reported with caret-marked source excerpts:
+//
+//	program.esp:12:9: error: undefined variable x
+//	    out( c, x);
+//	            ^
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	esplang "esplang"
+	"esplang/internal/diag"
 )
 
 func main() {
@@ -28,7 +33,10 @@ func main() {
 		noPml     = flag.Bool("no-pml", false, "skip the Promela target")
 		noOpt     = flag.Bool("O0", false, "disable the §6.1 IR optimizations")
 		disasm    = flag.Bool("S", false, "print the compiled IR to stdout")
+		dumpIR    = flag.Bool("dump-ir", false, "print the compiled IR to stdout (alias of -S)")
 		stats     = flag.Bool("stats", false, "print program statistics")
+		optStats  = flag.Bool("opt-stats", false, "print per-pass optimizer statistics")
+		verifyIR  = flag.Bool("verify-ir", false, "check IR structural invariants after compilation and after every optimizer pass")
 		maxObjs   = flag.Int("max-objects", 1024, "C target: static heap size")
 		instances = flag.Int("instances", 1, "Promela target: program copies")
 		bound     = flag.Int("bound", 16, "Promela target: default objectId table size")
@@ -40,20 +48,37 @@ func main() {
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
-	prog, err := esplang.CompileFile(in, esplang.CompileOptions{NoOptimize: *noOpt})
+	src, err := os.ReadFile(in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "espc: %v\n", err)
 		os.Exit(1)
 	}
+	prog, err := esplang.Compile(string(src), esplang.CompileOptions{
+		Name:       in,
+		File:       in,
+		NoOptimize: *noOpt,
+		VerifyIR:   *verifyIR,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, diag.RenderError(err, in, string(src)))
+		os.Exit(1)
+	}
 
 	base := strings.TrimSuffix(in, filepath.Ext(in))
-	if *disasm {
+	if *disasm || *dumpIR {
 		fmt.Print(prog.Disasm())
 	}
 	if *stats {
 		s := prog.Stats()
 		fmt.Printf("%d processes, %d channels, %d lines (%d decl + %d process), %d IR instructions\n",
 			s.Processes, s.Channels, s.SourceLines, s.DeclLines, s.ProcessLines, s.Instructions)
+	}
+	if *optStats {
+		if prog.OptStats != nil {
+			fmt.Print(prog.OptStats.String())
+		} else {
+			fmt.Println("optimizer: disabled (-O0)")
+		}
 	}
 	if !*noC {
 		path := *cOut

@@ -74,7 +74,14 @@ type (
 	PromelaOptions = promela.Options
 	// OptOptions selects optimizer passes.
 	OptOptions = opt.Options
+	// OptimizerStats reports per-pass optimizer statistics.
+	OptimizerStats = opt.Stats
 )
+
+// VerifyIR checks the structural invariants of a compiled program's IR:
+// balanced stack depths, in-range jump targets, and valid channel, port,
+// pattern, and local references.
+var VerifyIR = ir.Verify
 
 // Verification modes (re-exported).
 const (
@@ -93,20 +100,32 @@ var (
 type CompileOptions struct {
 	// Name labels the program in diagnostics and generated files.
 	Name string
+	// File is the source path; it threads through to VM faults,
+	// model-checker traces, C #line directives, and Promela comments so
+	// every downstream consumer can report ESP file:line locations.
+	// CompileFile sets it automatically.
+	File string
 	// NoOptimize disables the §6.1 IR optimization passes.
 	NoOptimize bool
 	// Passes overrides the optimizer pipeline when non-zero.
 	Passes OptOptions
+	// VerifyIR checks structural IR invariants (ir.Verify) after
+	// compilation and again after every optimizer pass.
+	VerifyIR bool
 }
 
 // Program is a compiled ESP program.
 type Program struct {
 	Name   string
+	File   string
 	Source string
 
 	AST  *ast.Program
 	Info *check.Info
 	IR   *ir.Program
+	// OptStats reports the optimizer driver's per-pass statistics (nil
+	// when optimization was disabled).
+	OptStats *opt.Stats
 }
 
 // Compile parses, type-checks, lowers, and optimizes an ESP program.
@@ -122,14 +141,26 @@ func Compile(src string, opts CompileOptions) (*Program, error) {
 	irProg := compile.Program(tree, info)
 	irProg.Name = opts.Name
 	irProg.Source = src
+	irProg.File = opts.File
+	if opts.VerifyIR {
+		if err := ir.Verify(irProg); err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
+		}
+	}
+	prog := &Program{Name: opts.Name, File: opts.File, Source: src, AST: tree, Info: info, IR: irProg}
 	if !opts.NoOptimize {
 		passes := opts.Passes
 		if passes == (OptOptions{}) {
 			passes = opt.All()
 		}
-		opt.Optimize(irProg, passes)
+		passes.Verify = passes.Verify || opts.VerifyIR
+		stats, err := opt.Run(irProg, passes)
+		if err != nil {
+			return nil, err
+		}
+		prog.OptStats = stats
 	}
-	return &Program{Name: opts.Name, Source: src, AST: tree, Info: info, IR: irProg}, nil
+	return prog, nil
 }
 
 // CompileFile reads and compiles an ESP source file.
@@ -140,6 +171,9 @@ func CompileFile(path string, opts CompileOptions) (*Program, error) {
 	}
 	if opts.Name == "" {
 		opts.Name = path
+	}
+	if opts.File == "" {
+		opts.File = path
 	}
 	return Compile(string(src), opts)
 }
@@ -176,8 +210,13 @@ func (p *Program) C(opts COptions) string {
 	return cbackend.Generate(p.IR, opts)
 }
 
-// Promela renders the SPIN specification (pgm.SPIN in Figure 4).
+// Promela renders the SPIN specification (pgm.SPIN in Figure 4). When
+// the program was compiled from a file, emitted statements carry
+// source-location comments unless opts.File overrides the path.
 func (p *Program) Promela(opts PromelaOptions) string {
+	if opts.File == "" {
+		opts.File = p.File
+	}
 	return promela.Generate(p.AST, p.Info, opts)
 }
 

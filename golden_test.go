@@ -1,0 +1,73 @@
+package esplang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	esplang "esplang"
+	"esplang/internal/ast"
+	"esplang/internal/parser"
+)
+
+// checkGolden compares got against the golden file, rewriting it instead
+// when ESP_UPDATE_GOLDEN is set.
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if os.Getenv("ESP_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with ESP_UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with ESP_UPDATE_GOLDEN=1 to update)\ngot:\n%s", goldenPath, got)
+	}
+}
+
+// TestFormatGolden locks the canonical formatting of every sample: one
+// espfmt pass must match the golden byte-for-byte, and a second pass must
+// be idempotent over the first.
+func TestFormatGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.esp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			once := ast.Print(tree)
+			tree2, err := parser.Parse([]byte(once))
+			if err != nil {
+				t.Fatalf("formatted output does not reparse: %v", err)
+			}
+			twice := ast.Print(tree2)
+			if once != twice {
+				t.Errorf("formatting is not idempotent")
+			}
+			checkGolden(t, f+".fmt.golden", once)
+		})
+	}
+}
+
+// TestAppendixBDisasmGolden locks the compiled (and optimized) IR of the
+// paper's Appendix B program — any change to the compiler's lowering or
+// the optimizer pipeline shows up as a reviewable golden diff.
+func TestAppendixBDisasmGolden(t *testing.T) {
+	prog, err := esplang.CompileFile("testdata/appendixb.esp", esplang.CompileOptions{Name: "appendixb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/appendixb.disasm.golden", prog.Disasm())
+}

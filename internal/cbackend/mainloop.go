@@ -291,7 +291,15 @@ func (g *cgen) emitProcCode(p *ir.Proc) {
 	g.w("    }")
 	g.w("    esp_fail(\"bad pc\");")
 
+	// When the program carries a source path, #line directives map each
+	// instruction back to its ESP statement so C-level debuggers and
+	// compiler diagnostics point at the .esp file, not the generated C.
+	lastLine := -1
 	for pc, in := range p.Code {
+		if g.prog.File != "" && in.Pos.IsValid() && in.Pos.Line != lastLine {
+			g.w("#line %d %q", in.Pos.Line, g.prog.File)
+			lastLine = in.Pos.Line
+		}
 		g.w("P%d_I%d: /* %s */", p.ID, pc, ir.FormatInstr(p, in))
 		g.instr(p, pc, in)
 	}

@@ -19,30 +19,17 @@ import (
 	"sort"
 
 	"esplang/internal/ast"
+	"esplang/internal/diag"
 	"esplang/internal/token"
 	"esplang/internal/types"
 )
 
-// Error is a semantic error with its source position.
-type Error struct {
-	Pos token.Pos
-	Msg string
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+// Error is a semantic error with its source position — the shared
+// compiler diagnostic, so semantic errors render with caret excerpts.
+type Error = diag.Diagnostic
 
 // ErrorList is a list of semantic errors implementing error.
-type ErrorList []*Error
-
-func (l ErrorList) Error() string {
-	switch len(l) {
-	case 0:
-		return "no errors"
-	case 1:
-		return l[0].Error()
-	}
-	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
-}
+type ErrorList = diag.List
 
 // Var is a process-local variable (declared with $name or bound in a
 // pattern). Slot is its dense index in the owning process frame.
@@ -197,9 +184,16 @@ func (c *checker) program(prog *ast.Program) {
 			c.info.Consts[cd.Name.Name] = cd.Value
 		}
 	}
-	// Pass 3: resolve all named types (detects recursion).
-	for name := range c.typeDecls {
-		c.resolveNamed(name, c.typeDecls[name].Pos())
+	// Pass 3: resolve all named types (detects recursion). Declaration
+	// order, not map order: interning assigns the dense type IDs here, and
+	// they must be stable run to run (the IR disassembly and both backends
+	// print them).
+	for _, d := range prog.Decls {
+		if td, ok := d.(*ast.TypeDecl); ok {
+			if _, known := c.typeDecls[td.Name.Name]; known {
+				c.resolveNamed(td.Name.Name, td.Pos())
+			}
+		}
 	}
 	// Pass 4: channels.
 	for _, d := range prog.Decls {

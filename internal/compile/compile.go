@@ -139,7 +139,7 @@ func (c *procCompiler) compile(pd *check.Process) {
 func (c *procCompiler) emit(in ir.Instr) int {
 	pc := len(c.proc.Code)
 	c.proc.Code = append(c.proc.Code, in)
-	c.stack += stackEffect(in)
+	c.stack += ir.StackEffect(in)
 	if c.stack > c.proc.MaxStack {
 		c.proc.MaxStack = c.stack
 	}
@@ -147,29 +147,6 @@ func (c *procCompiler) emit(in ir.Instr) int {
 		panic(fmt.Sprintf("compile: stack underflow at pc %d (%s) in process %s", pc, in.Op, c.proc.Name))
 	}
 	return pc
-}
-
-func stackEffect(in ir.Instr) int {
-	switch in.Op {
-	case ir.Const, ir.SelfID, ir.LoadLocal, ir.Dup:
-		return 1
-	case ir.StoreLocal, ir.Pop, ir.JumpIfFalse, ir.JumpIfTrue,
-		ir.Link, ir.Unlink, ir.Assert, ir.Send, ir.SendCommit,
-		ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod,
-		ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge,
-		ir.NewArray, ir.GetIndex:
-		return -1
-	case ir.NewRecord:
-		return 1 - in.B
-	case ir.SetField:
-		return -2
-	case ir.SetIndex:
-		return -3
-	default:
-		// Neg, Not, GetField, UnionGet, CastCopy, CastReuse, NewUnion,
-		// Jump, Nop, Halt, Recv, Alt: net zero.
-		return 0
-	}
 }
 
 func (c *procCompiler) patch(pc int) {

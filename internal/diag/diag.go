@@ -1,0 +1,178 @@
+// Package diag defines the compiler's common diagnostic currency: a
+// source-positioned message with a severity, a list type every front-end
+// stage (lexer, parser, checker) produces, and a renderer that turns a
+// diagnostic into the caret-style excerpt the command-line tools print.
+//
+// The lexer, parser, and checker alias their Error types to Diagnostic,
+// so one error value flows unchanged from any stage to the renderer and
+// positions survive all the way to the user — the same end-to-end span
+// discipline the back ends apply to generated C (#line), Promela
+// (location comments), VM faults, and model-checker traces.
+package diag
+
+import (
+	"fmt"
+	"strings"
+
+	"esplang/internal/token"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities.
+const (
+	Error Severity = iota
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one positioned compiler message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Msg      string
+	Severity Severity
+}
+
+// Error implements error with the historical "line:col: msg" format.
+func (d *Diagnostic) Error() string { return fmt.Sprintf("%s: %s", d.Pos, d.Msg) }
+
+// New constructs an error-severity diagnostic.
+func New(pos token.Pos, format string, args ...any) *Diagnostic {
+	return &Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// List is a collection of diagnostics implementing error.
+type List []*Diagnostic
+
+// Error summarizes the list the way the historical per-stage error lists
+// did: the first diagnostic, plus a count of the rest.
+func (l List) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Err returns the list as an error, or nil when it is empty.
+func (l List) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Render formats one diagnostic with a caret excerpt of the offending
+// source line:
+//
+//	file.esp:3:15: error: undefined type fooT
+//	        channel c: fooT;
+//	                   ^
+//
+// file may be empty (the location prints as line:col) and src may be
+// empty (the excerpt is omitted).
+func Render(d *Diagnostic, file, src string) string {
+	var b strings.Builder
+	if file != "" {
+		fmt.Fprintf(&b, "%s:", file)
+	}
+	fmt.Fprintf(&b, "%s: %s: %s", d.Pos, d.Severity, d.Msg)
+	if src != "" && d.Pos.IsValid() {
+		if line, ok := sourceLine(src, d.Pos.Line); ok {
+			b.WriteByte('\n')
+			b.WriteString(expandTabs(line))
+			b.WriteByte('\n')
+			b.WriteString(caretPad(line, d.Pos.Column))
+			b.WriteByte('^')
+		}
+	}
+	return b.String()
+}
+
+// RenderError renders any error produced by the compiler front end: a
+// List renders every diagnostic (one excerpt each), a bare *Diagnostic
+// renders itself, anything else falls back to err.Error(). Wrapped
+// errors (fmt.Errorf("...: %w", list)) are unwrapped.
+func RenderError(err error, file, src string) string {
+	switch e := unwrapAll(err).(type) {
+	case List:
+		parts := make([]string, len(e))
+		for i, d := range e {
+			parts[i] = Render(d, file, src)
+		}
+		return strings.Join(parts, "\n")
+	case *Diagnostic:
+		return Render(e, file, src)
+	default:
+		return err.Error()
+	}
+}
+
+func unwrapAll(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}
+
+// sourceLine extracts 1-based line n from src.
+func sourceLine(src string, n int) (string, bool) {
+	if n < 1 {
+		return "", false
+	}
+	for i := 1; ; i++ {
+		next := strings.IndexByte(src, '\n')
+		var line string
+		if next < 0 {
+			line = src
+		} else {
+			line = src[:next]
+		}
+		if i == n {
+			return strings.TrimRight(line, "\r"), true
+		}
+		if next < 0 {
+			return "", false
+		}
+		src = src[next+1:]
+	}
+}
+
+// expandTabs replaces tabs with 4 spaces so the caret column below stays
+// aligned with the excerpt above.
+func expandTabs(line string) string {
+	return strings.ReplaceAll(line, "\t", "    ")
+}
+
+// caretPad builds the whitespace run that puts the caret under 1-based
+// column col of line (after tab expansion).
+func caretPad(line string, col int) string {
+	var b strings.Builder
+	for i, r := range line {
+		if i >= col-1 {
+			break
+		}
+		if r == '\t' {
+			b.WriteString("    ")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package diag_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"esplang/internal/diag"
+	"esplang/internal/token"
+)
+
+func TestRenderCaret(t *testing.T) {
+	src := "channel c: int\nprocess p {\n    out( c, x);\n}\n"
+	d := diag.New(token.Pos{Line: 3, Column: 13}, "undefined variable x")
+	got := diag.Render(d, "t.esp", src)
+	want := "t.esp:3:13: error: undefined variable x\n    out( c, x);\n            ^"
+	if got != want {
+		t.Errorf("Render:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestRenderTabAlignment(t *testing.T) {
+	src := "\tout( c, x);\n"
+	d := diag.New(token.Pos{Line: 1, Column: 10}, "bad")
+	got := diag.Render(d, "", src)
+	lines := strings.Split(got, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), got)
+	}
+	// The tab expands to 4 spaces in both the excerpt and the caret pad,
+	// so the caret sits under column 10's character.
+	caretCol := strings.IndexByte(lines[2], '^')
+	wantCol := strings.IndexByte(lines[1], 'x')
+	if caretCol != wantCol {
+		t.Errorf("caret at display column %d, 'x' at %d\n%s", caretCol, wantCol, got)
+	}
+}
+
+func TestRenderErrorList(t *testing.T) {
+	src := "a\nb\n"
+	l := diag.List{
+		diag.New(token.Pos{Line: 1, Column: 1}, "first"),
+		diag.New(token.Pos{Line: 2, Column: 1}, "second"),
+	}
+	got := diag.RenderError(l, "f.esp", src)
+	if !strings.Contains(got, "f.esp:1:1: error: first") ||
+		!strings.Contains(got, "f.esp:2:1: error: second") {
+		t.Errorf("missing diagnostics:\n%s", got)
+	}
+	// Wrapped lists unwrap.
+	wrapped := fmt.Errorf("check: %w", l)
+	if diag.RenderError(wrapped, "f.esp", src) != got {
+		t.Error("wrapped list renders differently")
+	}
+	// Non-diagnostic errors fall back to Error().
+	plain := fmt.Errorf("plain failure")
+	if diag.RenderError(plain, "f.esp", src) != "plain failure" {
+		t.Error("plain error not passed through")
+	}
+}
+
+func TestListError(t *testing.T) {
+	var l diag.List
+	if l.Error() != "no errors" {
+		t.Errorf("empty list: %q", l.Error())
+	}
+	if l.Err() != nil {
+		t.Error("empty list Err() != nil")
+	}
+	l = append(l, diag.New(token.Pos{Line: 1, Column: 2}, "oops"))
+	if l.Error() != "1:2: oops" {
+		t.Errorf("single: %q", l.Error())
+	}
+	l = append(l, diag.New(token.Pos{Line: 3, Column: 4}, "again"))
+	if l.Error() != "1:2: oops (and 1 more errors)" {
+		t.Errorf("multi: %q", l.Error())
+	}
+}
+
+func TestRenderInvalidPosNoExcerpt(t *testing.T) {
+	d := diag.New(token.Pos{}, "nowhere")
+	if got := diag.Render(d, "f.esp", "line\n"); strings.Contains(got, "\n") {
+		t.Errorf("excerpt emitted for invalid pos:\n%s", got)
+	}
+}

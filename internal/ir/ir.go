@@ -252,6 +252,10 @@ type Program struct {
 	// Source is the original ESP text, retained for diagnostics and the
 	// line-count reports.
 	Source string
+	// File is the path the source was read from ("" when compiled from
+	// memory). Faults, model-checker traces, and the C and Promela
+	// backends use it to report file:line locations.
+	File string
 }
 
 // ChannelByName returns the named channel or nil.

@@ -8,16 +8,14 @@ package lexer
 import (
 	"fmt"
 
+	"esplang/internal/diag"
 	"esplang/internal/token"
 )
 
-// Error is a lexical error with its source position.
-type Error struct {
-	Pos token.Pos
-	Msg string
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+// Error is a lexical error with its source position. It is the shared
+// compiler diagnostic, so lexical errors render with caret excerpts like
+// every other stage's.
+type Error = diag.Diagnostic
 
 // Lexer scans ESP source text into tokens.
 type Lexer struct {

@@ -1,0 +1,28 @@
+package mc
+
+import "testing"
+
+// cloneTrace must return a slice that shares no storage with the input:
+// the checker keeps mutating its working trace while backtracking, and a
+// Violation's trace must not change under it.
+func TestCloneTraceNoAliasing(t *testing.T) {
+	orig := []TraceStep{{Desc: "a"}, {Desc: "b"}}
+	got := cloneTrace(orig, TraceStep{Desc: "c"})
+	if len(got) != 3 || got[0].Desc != "a" || got[2].Desc != "c" {
+		t.Fatalf("cloneTrace = %v", got)
+	}
+	// Mutations through the returned slice must not reach the original.
+	got[0].Desc = "mutated"
+	got = append(got, TraceStep{Desc: "d"})
+	_ = got
+	if orig[0].Desc != "a" || len(orig) != 2 {
+		t.Errorf("original trace corrupted: %v", orig)
+	}
+	// And the reverse: backtracking overwrites the working trace in place;
+	// the clone must keep its values.
+	clone := cloneTrace(orig, TraceStep{Desc: "c"})
+	orig[1].Desc = "overwritten"
+	if clone[1].Desc != "b" {
+		t.Errorf("clone aliases the working trace: %v", clone)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"esplang/internal/ir"
+	"esplang/internal/token"
 	"esplang/internal/vm"
 )
 
@@ -101,6 +102,9 @@ func (o *Options) fill() {
 type TraceStep struct {
 	Choice vm.CommChoice
 	Desc   string
+	// Pos is the source position of the sender's communication statement
+	// (zero when unknown, e.g. steps synthesized by the progress search).
+	Pos token.Pos
 }
 
 // Violation describes a property failure found during the search.
@@ -212,13 +216,13 @@ func Check(prog *ir.Program, opts Options) *Result {
 			continue
 		}
 
+		step := newStep(top.m, prog, c)
 		m2 := top.m.Clone()
 		m2.FireComm(c)
 		res.Transitions++
-		step := TraceStep{Choice: c, Desc: describe(prog, c)}
 
 		if f := m2.Fault(); f != nil {
-			res.Violation = &Violation{Fault: f, Trace: append(append([]TraceStep{}, trace...), step)}
+			res.Violation = &Violation{Fault: f, Trace: cloneTrace(trace, step)}
 			break
 		}
 		key := m2.EncodeState()
@@ -234,7 +238,7 @@ func Check(prog *ir.Program, opts Options) *Result {
 
 		comms := m2.EnabledComms()
 		if len(comms) == 0 && stuck(m2, opts) {
-			res.Violation = &Violation{Deadlock: true, Trace: append(append([]TraceStep{}, trace...), step)}
+			res.Violation = &Violation{Deadlock: true, Trace: cloneTrace(trace, step)}
 			break
 		}
 		stack = append(stack, frame{m: m2, comms: comms})
@@ -269,6 +273,35 @@ func newMachine(prog *ir.Program, opts Options) *vm.Machine {
 	})
 	m.Cost = vm.ZeroCostModel()
 	return m
+}
+
+// newStep builds the trace step for firing c from the quiescent state m:
+// the source-level description plus the sender's blocked-instruction
+// position. When the program carries a source path the location is
+// appended to the description, so rendered counterexamples read
+// "sender --chan--> receiver (file.esp:12)".
+func newStep(m *vm.Machine, prog *ir.Program, c vm.CommChoice) TraceStep {
+	st := TraceStep{Choice: c, Desc: describe(prog, c)}
+	if c.Sender >= 0 && c.Sender < len(m.Procs) {
+		p := m.Procs[c.Sender]
+		if p.PC >= 0 && p.PC < len(p.Def.Code) {
+			st.Pos = p.Def.Code[p.PC].Pos
+		}
+	}
+	if prog.File != "" && st.Pos.IsValid() {
+		st.Desc += fmt.Sprintf(" (%s:%d)", prog.File, st.Pos.Line)
+	}
+	return st
+}
+
+// cloneTrace returns a fresh slice holding trace plus step, so a
+// Violation's trace never aliases the checker's working trace stack
+// (which keeps mutating as the search backtracks).
+func cloneTrace(trace []TraceStep, step TraceStep) []TraceStep {
+	out := make([]TraceStep, len(trace)+1)
+	copy(out, trace)
+	out[len(trace)] = step
+	return out
 }
 
 // describe renders a transition in terms of source names.
@@ -319,9 +352,10 @@ func simulate(prog *ir.Program, opts Options, res *Result) {
 				break
 			}
 			c := comms[rng.Intn(len(comms))]
+			st := newStep(m, prog, c)
 			m.FireComm(c)
 			res.Transitions++
-			trace = append(trace, TraceStep{Choice: c, Desc: describe(prog, c)})
+			trace = append(trace, st)
 			if len(trace) > res.MaxDepth {
 				res.MaxDepth = len(trace)
 			}

@@ -360,3 +360,38 @@ process q { in( c, $v); }
 		t.Errorf("result string %q missing fields", s)
 	}
 }
+
+// TestViolationTraceIsolated: a returned counterexample trace is the
+// caller's to keep — mutating it must not affect any later check of the
+// same program (the checker's working trace is never aliased into a
+// Violation).
+func TestViolationTraceIsolated(t *testing.T) {
+	src := `
+channel a: int
+channel b: int
+process p { out( a, 1); in( b, $x); }
+process q { in( a, $y); }
+`
+	prog := compileSrc(t, src)
+	res1 := mc.Check(prog, mc.Options{})
+	if res1.Violation == nil || !res1.Violation.Deadlock || len(res1.Violation.Trace) == 0 {
+		t.Fatalf("expected deadlock with a trace, got %v", res1.Violation)
+	}
+	want := make([]string, len(res1.Violation.Trace))
+	for i, st := range res1.Violation.Trace {
+		want[i] = st.Desc
+	}
+	// Vandalize the returned trace.
+	for i := range res1.Violation.Trace {
+		res1.Violation.Trace[i].Desc = "CLOBBERED"
+	}
+	res2 := mc.Check(prog, mc.Options{})
+	if res2.Violation == nil || len(res2.Violation.Trace) != len(want) {
+		t.Fatalf("second check differs: %v", res2.Violation)
+	}
+	for i, st := range res2.Violation.Trace {
+		if st.Desc != want[i] {
+			t.Errorf("trace step %d = %q, want %q", i, st.Desc, want[i])
+		}
+	}
+}

@@ -80,7 +80,7 @@ func CheckProgress(prog *ir.Program, progressChannels []string, opts Options) *R
 				states = append(states, m2)
 				edges = append(edges, nil)
 			}
-			edges[i] = append(edges[i], edge{to: j, progress: progressChan[c.Chan], desc: describe(prog, c)})
+			edges[i] = append(edges[i], edge{to: j, progress: progressChan[c.Chan], desc: newStep(m, prog, c).Desc})
 		}
 	}
 	res.States = len(states)

@@ -33,8 +33,11 @@ type Options struct {
 	// CrossProc enables the whole-program constant analysis across
 	// channels — the paper's §6.2 future work.
 	CrossProc bool
-	// MaxRounds bounds the fixpoint iteration (0 = 4).
+	// MaxRounds bounds the whole-program fixpoint iteration (0 = 8).
 	MaxRounds int
+	// Verify runs ir.Verify after every pass; Run aborts with an error
+	// naming the offending pass if a rewrite corrupts the program.
+	Verify bool
 }
 
 // All returns the full pipeline, including the cross-process analysis.
@@ -42,37 +45,13 @@ func All() Options {
 	return Options{ConstFold: true, CopyProp: true, DCE: true, CastReuse: true, CrossProc: true}
 }
 
-// Optimize rewrites every process of the program in place and returns it.
+// Optimize rewrites every process of the program in place and returns
+// it. It is the Stats-free convenience wrapper around Run; it panics if
+// verification is enabled and a pass corrupts the program (Run returns
+// that as an error instead).
 func Optimize(prog *ir.Program, opts Options) *ir.Program {
-	rounds := opts.MaxRounds
-	if rounds == 0 {
-		rounds = 4
-	}
-	if opts.CrossProc {
-		// Whole-program first: the constants it plants feed the local
-		// passes below.
-		CrossProcConstants(prog)
-	}
-	for _, p := range prog.Procs {
-		for i := 0; i < rounds; i++ {
-			changed := false
-			if opts.ConstFold {
-				changed = constFold(p) || changed
-			}
-			if opts.CastReuse {
-				changed = castReuse(p) || changed
-			}
-			if opts.CopyProp {
-				changed = copyProp(p) || changed
-			}
-			if opts.DCE {
-				changed = removeUnreachable(p) || changed
-				changed = compactNops(p) || changed
-			}
-			if !changed {
-				break
-			}
-		}
+	if _, err := Run(prog, opts); err != nil {
+		panic(err)
 	}
 	return prog
 }

@@ -28,30 +28,17 @@ import (
 	"strconv"
 
 	"esplang/internal/ast"
+	"esplang/internal/diag"
 	"esplang/internal/lexer"
 	"esplang/internal/token"
 )
 
-// Error is a syntax error with its source position.
-type Error struct {
-	Pos token.Pos
-	Msg string
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+// Error is a syntax error with its source position — the shared compiler
+// diagnostic, so syntax errors render with caret excerpts.
+type Error = diag.Diagnostic
 
 // ErrorList is a list of syntax errors implementing error.
-type ErrorList []*Error
-
-func (l ErrorList) Error() string {
-	switch len(l) {
-	case 0:
-		return "no errors"
-	case 1:
-		return l[0].Error()
-	}
-	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
-}
+type ErrorList = diag.List
 
 // maxErrors bounds error accumulation before the parser bails out.
 const maxErrors = 20

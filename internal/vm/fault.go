@@ -65,14 +65,29 @@ type Fault struct {
 	Proc string
 	PC   int
 	Pos  token.Pos
+	// File is the ESP source path of the faulting program ("" when the
+	// program was compiled from memory without a path).
+	File string
+}
+
+// Location renders the fault's source location: "file:line:col" when the
+// program carries a source path, "line:col" otherwise, "" when unknown.
+func (f *Fault) Location() string {
+	if !f.Pos.IsValid() {
+		return ""
+	}
+	if f.File != "" {
+		return fmt.Sprintf("%s:%s", f.File, f.Pos)
+	}
+	return f.Pos.String()
 }
 
 func (f *Fault) Error() string {
 	loc := ""
 	if f.Proc != "" {
 		loc = fmt.Sprintf(" in process %s", f.Proc)
-		if f.Pos.IsValid() {
-			loc += fmt.Sprintf(" at %s", f.Pos)
+		if l := f.Location(); l != "" {
+			loc += fmt.Sprintf(" at %s", l)
 		}
 	}
 	return fmt.Sprintf("%s%s: %s", f.Kind, loc, f.Msg)

@@ -189,6 +189,9 @@ func (m *Machine) setFault(f *Fault, p *ProcInst) {
 			f.Pos = p.Def.Code[p.PC].Pos
 		}
 	}
+	if f.File == "" {
+		f.File = m.Prog.File
+	}
 	m.flt = f
 }
 

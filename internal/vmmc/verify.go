@@ -329,7 +329,7 @@ process consumer {
 // VerifyMemSafety model-checks the data-path model with the given seeded
 // bug (BugNone must pass; every other bug must be found).
 func VerifyMemSafety(bug MemBug, opts esplang.VerifyOptions) (*esplang.VerifyResult, error) {
-	prog, err := esplang.Compile(MemSafetyModel(bug), esplang.CompileOptions{Name: "memsafety"})
+	prog, err := esplang.Compile(MemSafetyModel(bug), esplang.CompileOptions{Name: "memsafety", File: "memsafety.esp"})
 	if err != nil {
 		return nil, err
 	}
