@@ -7,7 +7,9 @@
 //	espc [flags] program.esp
 //
 // With no output flags it writes program.c and program.pml next to the
-// input. Compile errors are reported with caret-marked source excerpts:
+// input. -mc additionally model-checks the program with the bundled
+// checker (-mc-workers sizes its parallel search). Compile errors are
+// reported with caret-marked source excerpts:
 //
 //	program.esp:12:9: error: undefined variable x
 //	    out( c, x);
@@ -40,6 +42,8 @@ func main() {
 		maxObjs   = flag.Int("max-objects", 1024, "C target: static heap size")
 		instances = flag.Int("instances", 1, "Promela target: program copies")
 		bound     = flag.Int("bound", 16, "Promela target: default objectId table size")
+		mcRun     = flag.Bool("mc", false, "model-check the program with the bundled checker (the program must be closed); a violation exits nonzero")
+		mcWorkers = flag.Int("mc-workers", 0, "model checker: parallel search workers (0 = all cores; 1 = deterministic)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -103,5 +107,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	if *mcRun {
+		res := prog.Verify(esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true})
+		fmt.Println(res)
+		if res.Violation != nil {
+			fmt.Println("counterexample:")
+			for i, step := range res.Violation.Trace {
+				fmt.Printf("  %3d. %s\n", i+1, step.Desc)
+			}
+			os.Exit(1)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "exhaustive", "exploration mode: exhaustive, bitstate, simulation (§5.1)")
+		workers   = flag.Int("workers", 0, "parallel search workers (0 = all cores; 1 = deterministic)")
 		maxStates = flag.Int("max-states", 0, "state bound (0 = default)")
 		maxDepth  = flag.Int("max-depth", 0, "depth bound (0 = default)")
 		bits      = flag.Uint("bits", 24, "bitstate mode: log2 of the bit array size")
@@ -43,6 +44,7 @@ func main() {
 	}
 
 	opts := esplang.VerifyOptions{
+		Workers:         *workers,
 		MaxStates:       *maxStates,
 		MaxDepth:        *maxDepth,
 		BitstateBits:    *bits,

@@ -23,6 +23,10 @@ import (
 
 var flavors = []vmmc.Flavor{vmmc.ESP, vmmc.Orig, vmmc.OrigNoFastPaths}
 
+// mcWorkers is the -mc-workers flag: the worker-pool size the §5.3
+// verification runs hand to the model checker.
+var mcWorkers int
+
 func main() {
 	var (
 		fig   = flag.String("fig", "", "figure to regenerate: 5a, 5b, 5c")
@@ -30,8 +34,10 @@ func main() {
 		all   = flag.Bool("all", false, "regenerate everything")
 		count = flag.Int("count", 40, "messages per bandwidth measurement")
 		round = flag.Int("rounds", 20, "round trips per latency measurement")
+		mcW   = flag.Int("mc-workers", 0, "verification tables: parallel model-checker workers (0 = all cores)")
 	)
 	flag.Parse()
+	mcWorkers = *mcW
 
 	if *all {
 		fig5a(*round)
@@ -157,22 +163,23 @@ func tableLoc() {
 func tableVerify() {
 	fmt.Println("Table: verification statistics (§5.3)")
 	cfg := nic.DefaultConfig()
+	vo := esplang.VerifyOptions{Workers: mcWorkers}
 
-	res, err := vmmc.VerifyFirmware(cfg, 2, esplang.VerifyOptions{})
+	res, err := vmmc.VerifyFirmware(cfg, 2, vo)
 	die(err)
 	fmt.Printf("  firmware model, 2 msgs (exhaustive):  %s\n", res)
 	fmt.Println("    paper: biggest process 2251 states, 0.5 s, 2.2 MB")
 
-	res, err = vmmc.VerifyRetrans(2, 3, false, esplang.VerifyOptions{})
+	res, err = vmmc.VerifyRetrans(2, 3, false, vo)
 	die(err)
 	fmt.Printf("  retransmission protocol:              %s\n", res)
 
-	res, err = vmmc.VerifyRetrans(2, 3, true, esplang.VerifyOptions{})
+	res, err = vmmc.VerifyRetrans(2, 3, true, vo)
 	die(err)
 	fmt.Printf("  retransmission protocol, seeded bug:  %s\n", res)
 
 	for _, bug := range []vmmc.MemBug{vmmc.BugNone, vmmc.BugLeak, vmmc.BugUseAfterFree, vmmc.BugDoubleFree} {
-		res, err = vmmc.VerifyMemSafety(bug, esplang.VerifyOptions{})
+		res, err = vmmc.VerifyMemSafety(bug, vo)
 		die(err)
 		fmt.Printf("  memory safety (%-14s):        %s\n", bug, res)
 	}

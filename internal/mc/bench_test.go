@@ -1,0 +1,137 @@
+package mc_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"esplang/internal/check"
+	"esplang/internal/compile"
+	"esplang/internal/ir"
+	"esplang/internal/mc"
+	"esplang/internal/parser"
+)
+
+func parseAndCompile(src string) (*ir.Program, error) {
+	tree, err := parser.Parse([]byte(src))
+	if err != nil {
+		return nil, err
+	}
+	info, err := check.Check(tree)
+	if err != nil {
+		return nil, err
+	}
+	return compile.Program(tree, info), nil
+}
+
+// benchSource builds a program whose state space is the product of
+// `pairs` independent producer/consumer pipelines of `length` rendezvous
+// each — (length+1)^pairs reachable states, branching `pairs` at almost
+// every state. With pairs=2, length=320 that is ≈103k states, the ≥10^5
+// state space the parallel-speedup acceptance criterion calls for.
+func benchSource(pairs, length int) string {
+	src := ""
+	for p := 0; p < pairs; p++ {
+		src += fmt.Sprintf(`
+channel c%[1]d: int
+process producer%[1]d {
+    $i = 0;
+    while (i < %[2]d) { out( c%[1]d, i); i = i + 1; }
+}
+process consumer%[1]d {
+    $n = 0;
+    while (n < %[2]d) { in( c%[1]d, $v); assert( v == n); n = n + 1; }
+}
+`, p, length)
+	}
+	return src
+}
+
+func compileBench(b *testing.B, pairs, length int) *ir.Program {
+	b.Helper()
+	prog, err := parseAndCompile(benchSource(pairs, length))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// benchWorkerCounts covers sequential, a midpoint, and all cores.
+func benchWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	if max >= 4 {
+		counts = append(counts, max/2)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// BenchmarkExhaustiveWorkers measures the parallel frontier search over a
+// ≥10^5-state space at several worker counts. Run with
+//
+//	go test -bench ExhaustiveWorkers -benchtime 3x ./internal/mc/
+//
+// and compare workers=1 against workers=GOMAXPROCS: on a multi-core
+// machine the wall-clock ratio is the speedup (the work — states and
+// transitions — is identical by construction, which the benchmark
+// asserts).
+func BenchmarkExhaustiveWorkers(b *testing.B) {
+	prog := compileBench(b, 2, 320) // 321² ≈ 103k states
+	want := -1
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mc.Check(prog, mc.Options{Workers: w})
+				if res.Violation != nil || res.Truncated {
+					b.Fatalf("unexpected result: %v", res)
+				}
+				if want == -1 {
+					want = res.States
+				} else if res.States != want {
+					b.Fatalf("workers=%d explored %d states, want %d", w, res.States, want)
+				}
+				b.ReportMetric(float64(res.States), "states")
+				b.ReportMetric(float64(res.States)/b.Elapsed().Seconds()/float64(b.N), "states/s")
+			}
+		})
+	}
+}
+
+// BenchmarkBitstateWorkers: the same space under bit-state hashing.
+func BenchmarkBitstateWorkers(b *testing.B) {
+	prog := compileBench(b, 2, 320)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mc.Check(prog, mc.Options{Mode: mc.BitState, Workers: w})
+				if res.Violation != nil {
+					b.Fatalf("unexpected violation: %v", res.Violation)
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+// TestBenchProgramEquivalence pins the benchmark program's state space:
+// every worker count explores exactly (length+1)^pairs states. A smaller
+// instance keeps the test fast; the benchmark asserts the big one.
+func TestBenchProgramEquivalence(t *testing.T) {
+	prog, err := parseAndCompile(benchSource(2, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 41 * 41
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		res := mc.Check(prog, mc.Options{Workers: w})
+		if res.Violation != nil || res.Truncated {
+			t.Fatalf("workers=%d unexpected result: %v", w, res)
+		}
+		if res.States != want {
+			t.Errorf("workers=%d states = %d, want %d", w, res.States, want)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"esplang/internal/ir"
+	"esplang/internal/vm"
+)
+
+// Parallel frontier search — the engine behind Exhaustive and BitState
+// modes. A pool of Options.Workers goroutines expands a shared FIFO of
+// unexpanded states. Each discovered state costs one machine clone while
+// it sits on the frontier and one visited-set key forever; counterexamples
+// are kept as compact parent chains (one CommChoice and one pointer per
+// state) and materialized by replaying the choices from the initial
+// machine, so memory is O(frontier + visited keys) rather than the old
+// depth-first search's O(depth × machine size) stack of retained clones.
+//
+// With Workers: 1 the search is a deterministic breadth-first traversal:
+// states are expanded in FIFO order and successors generated in
+// EnabledComms order, so every counter, the verdict, and the trace are
+// bit-for-bit reproducible. Any worker count visits the same state set
+// and reports the same States count (the visited set's TryAdd admits each
+// state exactly once); only which of several violations is reported first
+// can vary.
+
+// pathNode is one link of a counterexample parent chain: the
+// communication that produced a state, plus the chain that produced its
+// parent. Frontier nodes share tails, so reconstruction costs one small
+// node per live ancestor instead of a retained machine per search level.
+type pathNode struct {
+	choice vm.CommChoice
+	parent *pathNode
+}
+
+// choices materializes the root-to-here choice sequence.
+func (p *pathNode) choices() []vm.CommChoice {
+	n := 0
+	for q := p; q != nil; q = q.parent {
+		n++
+	}
+	out := make([]vm.CommChoice, n)
+	for q := p; q != nil; q = q.parent {
+		n--
+		out[n] = q.choice
+	}
+	return out
+}
+
+// node is one frontier entry: a quiescent machine, its enabled
+// communications (computed once, at discovery), the parent chain that
+// reached it, and its depth in transitions from the initial state.
+type node struct {
+	m     *vm.Machine
+	comms []vm.CommChoice
+	path  *pathNode
+	depth int
+}
+
+// frontier is the shared work queue: a FIFO of unexpanded nodes plus an
+// in-flight count for termination detection. pop blocks until a node is
+// available, every node has been fully expanded (pending == 0), or the
+// search was shut down early (violation found or state bound reached).
+type frontier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   []*node
+	head    int
+	pending int // queued + currently-expanding nodes
+	closed  bool
+}
+
+func (f *frontier) push(n *node) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.pending++
+	f.queue = append(f.queue, n)
+	f.mu.Unlock()
+	f.cond.Signal()
+}
+
+func (f *frontier) pop() *node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil
+		}
+		if f.head < len(f.queue) {
+			n := f.queue[f.head]
+			f.queue[f.head] = nil
+			f.head++
+			if f.head > 64 && f.head*2 >= len(f.queue) {
+				f.queue = append(f.queue[:0], f.queue[f.head:]...)
+				f.head = 0
+			}
+			return n
+		}
+		if f.pending == 0 {
+			return nil
+		}
+		f.cond.Wait()
+	}
+}
+
+// done marks one popped node fully expanded.
+func (f *frontier) done() {
+	f.mu.Lock()
+	f.pending--
+	exhausted := f.pending == 0
+	f.mu.Unlock()
+	if exhausted {
+		f.cond.Broadcast()
+	}
+}
+
+func (f *frontier) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// foundViolation is the compact record of the first violation: the parent
+// chain plus the final choice, replayed into a full trace after the
+// workers stop.
+type foundViolation struct {
+	parent   *pathNode
+	last     vm.CommChoice
+	fault    *vm.Fault
+	deadlock bool
+}
+
+// search is the shared state of one frontier search.
+type search struct {
+	opts    Options
+	visited shardedSet
+	front   frontier
+
+	states      atomic.Int64
+	transitions atomic.Int64
+	maxDepth    atomic.Int64
+	truncated   atomic.Bool
+	stop        atomic.Bool
+
+	vioMu sync.Mutex
+	vio   *foundViolation
+}
+
+// searchFrontier runs the Exhaustive/BitState search and fills res.
+func searchFrontier(prog *ir.Program, opts Options, res *Result) {
+	var visited shardedSet
+	if opts.Mode == BitState {
+		visited = newShardedBitSet(opts.BitstateBits)
+	} else {
+		visited = newShardedMapSet()
+	}
+
+	m0 := newMachine(prog, opts)
+	m0.Settle()
+	if f := m0.Fault(); f != nil {
+		res.Violation = &Violation{Fault: f}
+		return
+	}
+	visited.TryAdd(m0.EncodeState())
+	res.States = 1
+	res.MemBytes = visited.MemBytes()
+
+	comms0 := m0.EnabledComms()
+	if len(comms0) == 0 {
+		if stuck(m0, opts) {
+			res.Violation = &Violation{Deadlock: true}
+		}
+		return
+	}
+
+	s := &search{opts: opts, visited: visited}
+	s.front.cond.L = &s.front.mu
+	s.states.Store(1)
+	s.front.push(&node{m: m0, comms: comms0})
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	wg.Wait()
+
+	res.States = int(s.states.Load())
+	res.Transitions = int(s.transitions.Load())
+	res.MaxDepth = int(s.maxDepth.Load())
+	res.Truncated = s.truncated.Load()
+	res.MemBytes = visited.MemBytes()
+	if s.vio != nil {
+		choices := append(s.vio.parent.choices(), s.vio.last)
+		res.Violation = &Violation{
+			Fault:    s.vio.fault,
+			Deadlock: s.vio.deadlock,
+			Trace:    replayTrace(prog, opts, choices),
+		}
+	}
+}
+
+func (s *search) worker() {
+	for {
+		n := s.front.pop()
+		if n == nil {
+			return
+		}
+		s.expand(n)
+		s.front.done()
+	}
+}
+
+// expand fires every enabled communication of n, recording newly
+// discovered states and enqueueing them for expansion.
+func (s *search) expand(n *node) {
+	for _, c := range n.comms {
+		if s.stop.Load() {
+			return
+		}
+		m2 := n.m.Clone()
+		m2.FireComm(c)
+		s.transitions.Add(1)
+
+		if f := m2.Fault(); f != nil {
+			// The faulting transition was encountered even though its target
+			// state is never admitted — count it toward MaxDepth so the
+			// reported depth matches simulation mode on the same path.
+			s.observeDepth(n.depth + 1)
+			s.violate(n.path, c, f, false)
+			return
+		}
+		if !s.visited.TryAdd(m2.EncodeState()) {
+			continue
+		}
+		// Reserve a slot under the state bound before counting the state;
+		// the instant the bound is reached the whole search shuts down —
+		// it does not keep firing transitions into states it will never
+		// record.
+		if got := s.states.Add(1); got > int64(s.opts.MaxStates) {
+			s.states.Add(-1)
+			s.truncated.Store(true)
+			s.shutdown()
+			return
+		}
+		d := n.depth + 1
+		s.observeDepth(d)
+
+		comms := m2.EnabledComms()
+		if len(comms) == 0 {
+			if stuck(m2, s.opts) {
+				s.violate(n.path, c, nil, true)
+				return
+			}
+			continue
+		}
+		if d >= s.opts.MaxDepth {
+			s.truncated.Store(true)
+			continue
+		}
+		s.front.push(&node{
+			m:     m2,
+			comms: comms,
+			path:  &pathNode{choice: c, parent: n.path},
+			depth: d,
+		})
+	}
+	n.m = nil // the expanded machine is no longer needed
+}
+
+// violate records the violation (first writer wins) and shuts the search
+// down.
+func (s *search) violate(parent *pathNode, c vm.CommChoice, f *vm.Fault, deadlock bool) {
+	s.vioMu.Lock()
+	if s.vio == nil {
+		s.vio = &foundViolation{parent: parent, last: c, fault: f, deadlock: deadlock}
+	}
+	s.vioMu.Unlock()
+	s.shutdown()
+}
+
+func (s *search) shutdown() {
+	s.stop.Store(true)
+	s.front.close()
+}
+
+func (s *search) observeDepth(d int) {
+	for {
+		cur := s.maxDepth.Load()
+		if int64(d) <= cur || s.maxDepth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// replayTrace rebuilds a counterexample by replaying the recorded choice
+// sequence from a fresh initial machine — execution between blocking
+// points is deterministic, so the replay passes through exactly the
+// states the search saw (vm.Machine.ReplayComms is the same loop without
+// the per-step bookkeeping).
+func replayTrace(prog *ir.Program, opts Options, choices []vm.CommChoice) []TraceStep {
+	m := newMachine(prog, opts)
+	m.Settle()
+	steps := make([]TraceStep, 0, len(choices))
+	for _, c := range choices {
+		steps = append(steps, newStep(m, prog, c))
+		m.FireComm(c)
+	}
+	return steps
+}

@@ -15,12 +15,16 @@
 // The properties checked are the paper's: assertions, absence of
 // deadlock, and per-process memory safety — use after free, double free,
 // negative reference counts, and leaks via objectId exhaustion (§5.2).
+//
+// Exhaustive and BitState searches run as a parallel frontier search over
+// a worker pool (Options.Workers); see frontier.go. Workers: 1 is a fully
+// deterministic breadth-first search.
 package mc
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -54,10 +58,19 @@ func (m Mode) String() string {
 // Options configures a check.
 type Options struct {
 	Mode Mode
+	// Workers is the number of parallel search workers for Exhaustive and
+	// BitState modes (0 = GOMAXPROCS). Workers: 1 is a fully deterministic
+	// sequential breadth-first search; any worker count produces the same
+	// violation verdict and state count, but with several workers the
+	// specific counterexample returned may vary between runs when the
+	// program has more than one violation. Simulation mode is always
+	// single-threaded (determinism comes from Seed).
+	Workers int
 	// MaxStates bounds the number of distinct states explored
 	// (0 = 10 million).
 	MaxStates int
-	// MaxDepth bounds the search depth (0 = 100000).
+	// MaxDepth bounds the search depth, in transitions from the initial
+	// state (0 = 100000).
 	MaxDepth int
 	// BitstateBits is log2 of the bit array size for BitState mode
 	// (0 = 24, i.e. 16M bits / 2 MB).
@@ -81,6 +94,12 @@ type Options struct {
 }
 
 func (o *Options) fill() {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	if o.MaxStates == 0 {
 		o.MaxStates = 10_000_000
 	}
@@ -134,11 +153,16 @@ type Result struct {
 	Violation   *Violation // nil = property holds (within the search bounds)
 	States      int        // distinct states visited
 	Transitions int
-	MaxDepth    int
-	Truncated   bool // bounds were hit; the search is partial
-	Elapsed     time.Duration
-	MemBytes    int64 // memory used by the visited-state structure
-	Mode        Mode
+	// MaxDepth is the longest sequence of transitions from the initial
+	// state encountered — the same unit in every mode (in Simulation mode
+	// it is the longest walk). A search that never extends the initial
+	// state reports 0.
+	MaxDepth  int
+	Truncated bool // bounds were hit; the search is partial
+	Elapsed   time.Duration
+	MemBytes  int64 // memory used by the visited-state structure
+	Mode      Mode
+	Workers   int // search workers actually used
 }
 
 func (r *Result) String() string {
@@ -148,9 +172,13 @@ func (r *Result) String() string {
 	} else if r.Truncated {
 		status = "pass (partial search)"
 	}
-	return fmt.Sprintf("%s — %d states, %d transitions, depth %d, %v, %.1f KB (%s mode)",
+	par := ""
+	if r.Workers > 1 {
+		par = fmt.Sprintf(", %d workers", r.Workers)
+	}
+	return fmt.Sprintf("%s — %d states, %d transitions, depth %d, %v, %.1f KB (%s mode%s)",
 		status, r.States, r.Transitions, r.MaxDepth, r.Elapsed.Round(time.Millisecond),
-		float64(r.MemBytes)/1024, r.Mode)
+		float64(r.MemBytes)/1024, r.Mode, par)
 }
 
 // Check explores the program's state space. The program must have no
@@ -160,95 +188,14 @@ func (r *Result) String() string {
 func Check(prog *ir.Program, opts Options) *Result {
 	opts.fill()
 	start := time.Now()
-	res := &Result{Mode: opts.Mode}
+	res := &Result{Mode: opts.Mode, Workers: opts.Workers}
 
 	if opts.Mode == Simulation {
+		res.Workers = 1
 		simulate(prog, opts, res)
-		res.Elapsed = time.Since(start)
-		return res
-	}
-
-	var visited visitedSet
-	if opts.Mode == BitState {
-		visited = newBitSet(opts.BitstateBits)
 	} else {
-		visited = &mapSet{m: make(map[string]struct{})}
+		searchFrontier(prog, opts, res)
 	}
-
-	m0 := newMachine(prog, opts)
-	m0.Settle()
-	if f := m0.Fault(); f != nil {
-		res.Violation = &Violation{Fault: f}
-		res.Elapsed = time.Since(start)
-		return res
-	}
-	visited.Add(m0.EncodeState())
-	res.States = 1
-
-	type frame struct {
-		m     *vm.Machine
-		comms []vm.CommChoice
-		next  int
-	}
-	comms0 := m0.EnabledComms()
-	if len(comms0) == 0 && stuck(m0, opts) {
-		res.Violation = &Violation{Deadlock: true}
-		res.Elapsed = time.Since(start)
-		return res
-	}
-	stack := []frame{{m: m0, comms: comms0}}
-	trace := []TraceStep{}
-
-	for len(stack) > 0 && res.Violation == nil {
-		top := &stack[len(stack)-1]
-		if top.next >= len(top.comms) {
-			stack = stack[:len(stack)-1]
-			if len(trace) > 0 {
-				trace = trace[:len(trace)-1]
-			}
-			continue
-		}
-		c := top.comms[top.next]
-		top.next++
-
-		if len(stack) >= opts.MaxDepth {
-			res.Truncated = true
-			continue
-		}
-
-		step := newStep(top.m, prog, c)
-		m2 := top.m.Clone()
-		m2.FireComm(c)
-		res.Transitions++
-
-		if f := m2.Fault(); f != nil {
-			res.Violation = &Violation{Fault: f, Trace: cloneTrace(trace, step)}
-			break
-		}
-		key := m2.EncodeState()
-		if visited.Has(key) {
-			continue
-		}
-		if res.States >= opts.MaxStates {
-			res.Truncated = true
-			continue
-		}
-		visited.Add(key)
-		res.States++
-
-		comms := m2.EnabledComms()
-		if len(comms) == 0 && stuck(m2, opts) {
-			res.Violation = &Violation{Deadlock: true, Trace: cloneTrace(trace, step)}
-			break
-		}
-		stack = append(stack, frame{m: m2, comms: comms})
-		trace = append(trace, step)
-		if len(stack) > res.MaxDepth {
-			res.MaxDepth = len(stack)
-		}
-	}
-
-	res.MemBytes = visited.MemBytes()
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -366,61 +313,3 @@ func simulate(prog *ir.Program, opts Options, res *Result) {
 		res.States += len(trace) // states along walks (not deduplicated)
 	}
 }
-
-// ---------------------------------------------------------------------------
-// Visited-state sets
-
-type visitedSet interface {
-	Has(key string) bool
-	Add(key string)
-	MemBytes() int64
-}
-
-type mapSet struct {
-	m     map[string]struct{}
-	bytes int64
-}
-
-func (s *mapSet) Has(key string) bool { _, ok := s.m[key]; return ok }
-func (s *mapSet) Add(key string) {
-	s.m[key] = struct{}{}
-	s.bytes += int64(len(key)) + 16
-}
-func (s *mapSet) MemBytes() int64 { return s.bytes }
-
-// bitSet is SPIN's bit-state hashing: each state sets two hash-derived
-// bits; a state is "visited" when both bits are set. False positives
-// (missed states) are possible — the search is partial but uses constant
-// memory (§5.1).
-type bitSet struct {
-	bits []uint64
-	mask uint64
-}
-
-func newBitSet(log2bits uint) *bitSet {
-	n := uint64(1) << log2bits
-	return &bitSet{bits: make([]uint64, n/64), mask: n - 1}
-}
-
-func (s *bitSet) hashes(key string) (uint64, uint64) {
-	h1 := fnv.New64a()
-	h1.Write([]byte(key))
-	a := h1.Sum64()
-	h2 := fnv.New64()
-	h2.Write([]byte(key))
-	b := h2.Sum64()
-	return a & s.mask, (b ^ a>>32) & s.mask
-}
-
-func (s *bitSet) Has(key string) bool {
-	a, b := s.hashes(key)
-	return s.bits[a/64]&(1<<(a%64)) != 0 && s.bits[b/64]&(1<<(b%64)) != 0
-}
-
-func (s *bitSet) Add(key string) {
-	a, b := s.hashes(key)
-	s.bits[a/64] |= 1 << (a % 64)
-	s.bits[b/64] |= 1 << (b % 64)
-}
-
-func (s *bitSet) MemBytes() int64 { return int64(len(s.bits) * 8) }

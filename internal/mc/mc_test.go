@@ -363,8 +363,8 @@ process q { in( c, $v); }
 
 // TestViolationTraceIsolated: a returned counterexample trace is the
 // caller's to keep — mutating it must not affect any later check of the
-// same program (the checker's working trace is never aliased into a
-// Violation).
+// same program (traces are freshly materialized by replay, never aliased
+// into checker state). Workers: 1 keeps the two runs' traces comparable.
 func TestViolationTraceIsolated(t *testing.T) {
 	src := `
 channel a: int
@@ -373,7 +373,7 @@ process p { out( a, 1); in( b, $x); }
 process q { in( a, $y); }
 `
 	prog := compileSrc(t, src)
-	res1 := mc.Check(prog, mc.Options{})
+	res1 := mc.Check(prog, mc.Options{Workers: 1})
 	if res1.Violation == nil || !res1.Violation.Deadlock || len(res1.Violation.Trace) == 0 {
 		t.Fatalf("expected deadlock with a trace, got %v", res1.Violation)
 	}
@@ -385,7 +385,7 @@ process q { in( a, $y); }
 	for i := range res1.Violation.Trace {
 		res1.Violation.Trace[i].Desc = "CLOBBERED"
 	}
-	res2 := mc.Check(prog, mc.Options{})
+	res2 := mc.Check(prog, mc.Options{Workers: 1})
 	if res2.Violation == nil || len(res2.Violation.Trace) != len(want) {
 		t.Fatalf("second check differs: %v", res2.Violation)
 	}

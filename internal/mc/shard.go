@@ -1,0 +1,164 @@
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Visited-state structures for the frontier search. Both implementations
+// are sharded: a shard is selected by the top bits of the key's hash (a
+// hash prefix), and each shard has its own mutex, so the visited set is
+// not the serialization point when many workers discover states at once.
+
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+
+	fnvPrime = 1099511628211
+	// hashSeedA is the standard FNV-1a 64-bit offset basis; hashSeedB is
+	// an unrelated odd constant (the 64-bit golden ratio). Seeding the
+	// same byte walk at two unrelated points, then finalizing, yields two
+	// hashes that behave independently — see bitPositions.
+	hashSeedA = 14695981039346656037
+	hashSeedB = 0x9e3779b97f4a7c15
+)
+
+// hashKey is seeded FNV-1a over key, finished with a splitmix64-style
+// avalanche so every output bit depends on every input byte. The
+// finalizer matters: raw FNV values of the same key under related
+// variants agree in much of their structure, which is exactly the
+// correlation that degraded the two-bit bit-state scheme toward a
+// single-bit one (each state effectively guarded by one bit instead of
+// two, inflating false "visited" hits).
+func hashKey(seed uint64, key string) uint64 {
+	h := seed
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// bitPositions derives the two bit-state positions for a key from two
+// independently seeded hashes (SPIN's two-bit scheme, §5.1). The previous
+// implementation derived both positions from FNV-1a and FNV-1 of the same
+// key, which are strongly correlated and could collapse to the same slot;
+// shard_test.go holds the independence regression.
+func bitPositions(key string, mask uint64) (uint64, uint64) {
+	return hashKey(hashSeedA, key) & mask, hashKey(hashSeedB, key) & mask
+}
+
+// shardIndex picks a shard by hash prefix (the hash's top bits — disjoint
+// from the low bits bitPositions masks out).
+func shardIndex(key string) int {
+	return int(hashKey(hashSeedA, key) >> (64 - shardBits))
+}
+
+// shardedSet is the visited-state structure shared by the search workers.
+// TryAdd atomically tests and records a key, returning true only the
+// first time the key is seen: the check and the insert must be one
+// operation, or two workers reaching the same state simultaneously would
+// both count and expand it.
+type shardedSet interface {
+	TryAdd(key string) bool
+	MemBytes() int64
+}
+
+// shardedMapSet is the exact (Exhaustive-mode) visited set.
+type shardedMapSet struct {
+	shards [numShards]mapShard
+}
+
+type mapShard struct {
+	mu    sync.Mutex
+	m     map[string]struct{}
+	bytes int64
+}
+
+func newShardedMapSet() *shardedMapSet {
+	s := &shardedMapSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+func (s *shardedMapSet) TryAdd(key string) bool {
+	sh := &s.shards[shardIndex(key)]
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[key] = struct{}{}
+	sh.bytes += int64(len(key)) + 16
+	sh.mu.Unlock()
+	return true
+}
+
+func (s *shardedMapSet) MemBytes() int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.bytes
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// shardedBitSet is SPIN's bit-state hashing (§5.1) made safe for
+// concurrent workers: each state sets two hash-derived bits, and a state
+// is "visited" when both are already set. False positives (missed states)
+// are possible — the search is partial but uses constant memory.
+//
+// The two bit positions of one key can land in words "belonging" to
+// different shards, so the words themselves are only ever touched with
+// atomic operations; the per-shard mutex — selected by the key's hash
+// prefix, like the map shards — serializes concurrent TryAdds of the same
+// key so exactly one worker wins a newly seen state.
+type shardedBitSet struct {
+	words []uint64
+	mask  uint64
+	locks [numShards]sync.Mutex
+}
+
+func newShardedBitSet(log2bits uint) *shardedBitSet {
+	if log2bits < 6 {
+		log2bits = 6 // at least one word
+	}
+	n := uint64(1) << log2bits
+	return &shardedBitSet{words: make([]uint64, n/64), mask: n - 1}
+}
+
+func (s *shardedBitSet) TryAdd(key string) bool {
+	a, b := bitPositions(key, s.mask)
+	l := &s.locks[shardIndex(key)]
+	l.Lock()
+	hadA := s.setBit(a)
+	hadB := s.setBit(b)
+	l.Unlock()
+	return !(hadA && hadB)
+}
+
+// setBit atomically sets bit pos and reports whether it was already set.
+func (s *shardedBitSet) setBit(pos uint64) bool {
+	w := &s.words[pos/64]
+	bit := uint64(1) << (pos % 64)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 {
+			return true
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			return false
+		}
+	}
+}
+
+func (s *shardedBitSet) MemBytes() int64 { return int64(len(s.words) * 8) }

@@ -98,6 +98,11 @@ func (m *Machine) enumReceivers(chanID, si, sArm int, s *ProcInst, outPat *ir.Pa
 // (manual mode). The choice must come from EnabledComms on the current
 // state.
 func (m *Machine) FireComm(c CommChoice) {
+	if c.Sender < 0 || c.Sender >= len(m.Procs) || c.Receiver < 0 || c.Receiver >= len(m.Procs) {
+		m.fault(&Fault{Kind: FaultInternal,
+			Msg: fmt.Sprintf("FireComm: process index out of range (%s)", c)})
+		return
+	}
 	s := m.Procs[c.Sender]
 	r := m.Procs[c.Receiver]
 
@@ -132,6 +137,23 @@ func (m *Machine) FireComm(c CommChoice) {
 	m.unblock(s, sarm.EvalPC)
 	m.Settle()
 	m.commitTarget, m.commitArm = -1, -1
+}
+
+// ReplayComms re-fires a recorded communication sequence on a machine at
+// its initial quiescent state (after Settle). Execution between blocking
+// points is deterministic, so replaying the choices recorded by a search
+// passes through exactly the states the search saw — the model checker
+// rebuilds counterexample traces this way from compact parent chains
+// instead of retaining a machine clone per search level. Replay stops at
+// the first fault, which it returns (nil if the whole sequence fired).
+func (m *Machine) ReplayComms(cs []CommChoice) *Fault {
+	for _, c := range cs {
+		if m.flt != nil {
+			return m.flt
+		}
+		m.FireComm(c)
+	}
+	return m.flt
 }
 
 // Deadlocked reports whether the quiescent machine is stuck: not all

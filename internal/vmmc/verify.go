@@ -118,7 +118,10 @@ process hwNotify {
 // safety (use-after-free, double free, leaks via objectId exhaustion),
 // assertion violations (the retransmission invariants in the retrans
 // process), and deadlock — idle receive-blocked firmware is a valid end
-// state.
+// state. opts.Workers sizes the checker's parallel frontier search
+// (0 = all cores; the verdict and state count are identical at any
+// worker count), so the §5.3 verification run scales with the machine —
+// vmmcbench threads its -mc-workers flag through here.
 func VerifyFirmware(cfg nic.Config, msgs int, opts esplang.VerifyOptions) (*esplang.VerifyResult, error) {
 	prog, err := esplang.Compile(FirmwareModel(cfg, msgs), esplang.CompileOptions{Name: "vmmc-verify"})
 	if err != nil {

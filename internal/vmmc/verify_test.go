@@ -37,6 +37,32 @@ func TestVerifyFirmwareMoreMessages(t *testing.T) {
 	t.Logf("firmware model (3 msgs): %s", res)
 }
 
+func TestVerifyFirmwareParallelEquivalence(t *testing.T) {
+	// The §5.3 verification run under the parallel frontier search: any
+	// worker count explores exactly the same state space as the
+	// deterministic sequential search.
+	base, err := VerifyFirmware(nic.DefaultConfig(), 2, esplang.VerifyOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Violation != nil {
+		t.Fatalf("firmware model violates: %v", base.Violation)
+	}
+	for _, w := range []int{2, 4} {
+		res, err := VerifyFirmware(nic.DefaultConfig(), 2, esplang.VerifyOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("workers=%d: firmware model violates: %v", w, res.Violation)
+		}
+		if res.States != base.States || res.Truncated != base.Truncated {
+			t.Errorf("workers=%d: states=%d truncated=%v, want states=%d truncated=%v",
+				w, res.States, res.Truncated, base.States, base.Truncated)
+		}
+	}
+}
+
 func traceString(res *esplang.VerifyResult) string {
 	if res.Violation == nil {
 		return ""
