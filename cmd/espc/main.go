@@ -44,6 +44,7 @@ func main() {
 		bound     = flag.Int("bound", 16, "Promela target: default objectId table size")
 		mcRun     = flag.Bool("mc", false, "model-check the program with the bundled checker (the program must be closed); a violation exits nonzero")
 		mcWorkers = flag.Int("mc-workers", 0, "model checker: parallel search workers (0 = all cores; 1 = deterministic)")
+		mcProg    = flag.Bool("mc-progress", false, "model checker: print periodic search progress to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -109,7 +110,11 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 	if *mcRun {
-		res := prog.Verify(esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true})
+		vo := esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true}
+		if *mcProg {
+			vo.Progress = func(info esplang.ProgressInfo) { fmt.Fprintln(os.Stderr, info) }
+		}
+		res := prog.Verify(vo)
 		fmt.Println(res)
 		if res.Violation != nil {
 			fmt.Println("counterexample:")

@@ -19,6 +19,7 @@ import (
 
 	esplang "esplang"
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 	"esplang/internal/vm"
 )
 
@@ -27,6 +28,9 @@ func main() {
 		maxObjects = flag.Int("max-objects", 4096, "live-object bound (0 = unlimited)")
 		showStats  = flag.Bool("stats", false, "print machine statistics at exit")
 		showCycles = flag.Bool("cycles", false, "print consumed cycles at exit")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing; timestamps are VM cycles)")
+		profile    = flag.Bool("profile", false, "print the hot-line cycle profile and per-event breakdown at exit")
+		profileTop = flag.Int("profile-top", 10, "lines shown by -profile")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -41,6 +45,17 @@ func main() {
 	}
 	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: *maxObjects})
 
+	var tr *obs.ChromeTracer
+	if *tracePath != "" {
+		tr = obs.NewChromeTracer(1) // timestamps are VM cycles
+		m.SetTracer(tr)
+	}
+	var prof *obs.Profiler
+	if *profile {
+		prof = obs.NewProfiler(flag.Arg(0))
+		m.SetProfiler(prof)
+	}
+
 	// Read all stdin integers up front; feed them round-robin to the
 	// external writer channels in declaration order.
 	var inputs []int64
@@ -53,6 +68,10 @@ func main() {
 			os.Exit(1)
 		}
 		inputs = append(inputs, v)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "esprun: reading stdin: %v\n", err)
+		os.Exit(1)
 	}
 
 	bound := false
@@ -85,6 +104,27 @@ func main() {
 	_ = bound
 
 	res := m.Run()
+
+	// The trace and profile are written even when the run faulted — a
+	// fault is exactly when the timeline is most useful.
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = tr.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esprun: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", tr.Len(), *tracePath)
+	}
+	if prof != nil {
+		fmt.Fprint(os.Stderr, prof.Report(prog.Source, *profileTop))
+		fmt.Fprint(os.Stderr, prof.KindTable())
+	}
 	if res == vm.RunFault {
 		fmt.Fprintf(os.Stderr, "esprun: %v\n", m.Fault())
 		os.Exit(1)
@@ -93,7 +133,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cycles: %d\n", m.Cycles)
 	}
 	if *showStats {
-		fmt.Fprintf(os.Stderr, "stats: %+v\n", m.Stats)
+		fmt.Fprintf(os.Stderr, "stats: %s\n", m.Stats)
 	}
 }
 

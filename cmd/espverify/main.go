@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	esplang "esplang"
+	"esplang/internal/obs"
 )
 
 func main() {
@@ -29,7 +31,10 @@ func main() {
 		maxLive   = flag.Int("max-objects", 0, "objectId table size; exhausting it is a leak (§5.2)")
 		endRecv   = flag.Bool("end-recv-ok", false, "treat all-receive-blocked states as valid end states")
 		noDead    = flag.Bool("no-deadlock", false, "do not report deadlocks")
-		progress  = flag.String("progress", "", "comma-separated progress channels: report non-progress cycles (starvation) instead of safety")
+		progressC = flag.String("progress-channels", "", "comma-separated progress channels: report non-progress cycles (starvation) instead of safety")
+		progress  = flag.Bool("progress", false, "print periodic search progress to stderr (states, frontier, states/s, memory)")
+		progressI = flag.Duration("progress-interval", 2*time.Second, "interval between -progress samples")
+		metricsF  = flag.String("metrics", "", "write a JSON metrics snapshot of the search to this file at exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,6 +59,17 @@ func main() {
 		EndRecvOK:       *endRecv,
 		NoDeadlockCheck: *noDead,
 	}
+	if *progress {
+		opts.Progress = func(info esplang.ProgressInfo) {
+			fmt.Fprintln(os.Stderr, info)
+		}
+		opts.ProgressInterval = *progressI
+	}
+	var reg *obs.Metrics
+	if *metricsF != "" {
+		reg = obs.NewMetrics()
+		opts.Metrics = reg
+	}
 	switch *mode {
 	case "exhaustive":
 		opts.Mode = esplang.Exhaustive
@@ -67,10 +83,23 @@ func main() {
 	}
 
 	var res *esplang.VerifyResult
-	if *progress != "" {
-		res = prog.VerifyProgress(strings.Split(*progress, ","), opts)
+	if *progressC != "" {
+		res = prog.VerifyProgress(strings.Split(*progressC, ","), opts)
 	} else {
 		res = prog.Verify(opts)
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsF)
+		if err == nil {
+			err = reg.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espverify: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println(res)
 	if res.Violation != nil {

@@ -1,0 +1,74 @@
+// Command obscheck validates observability artifacts produced by the
+// other tools, for use in CI and scripts:
+//
+//	obscheck -trace out.json      check a Chrome trace-event JSON file
+//	obscheck -metrics snap.json   check a metrics snapshot round-trips
+//
+// -trace verifies the file parses as trace-event JSON, every event has a
+// phase, and Begin/End spans balance on every track. -metrics verifies
+// the snapshot parses and survives a decode/encode round trip unchanged.
+// Any failure exits nonzero with a diagnostic.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"esplang/internal/obs"
+)
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+		metricsPath = flag.String("metrics", "", "metrics snapshot JSON file to validate")
+	)
+	flag.Parse()
+	if *tracePath == "" && *metricsPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-trace out.json] [-metrics snap.json]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		n, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *tracePath, err))
+		}
+		fmt.Printf("%s: valid trace, %d events\n", *tracePath, n)
+	}
+
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		snap, err := obs.ParseSnapshot(data)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *metricsPath, err))
+		}
+		var buf bytes.Buffer
+		if err := snap.WriteJSON(&buf); err != nil {
+			fail(err)
+		}
+		snap2, err := obs.ParseSnapshot(buf.Bytes())
+		if err != nil {
+			fail(fmt.Errorf("%s: re-encoded snapshot does not parse: %w", *metricsPath, err))
+		}
+		if !snap.Equal(snap2) {
+			fail(fmt.Errorf("%s: snapshot does not round-trip", *metricsPath))
+		}
+		fmt.Printf("%s: valid snapshot, %d counters, %d gauges, %d histograms\n",
+			*metricsPath, len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+	os.Exit(1)
+}

@@ -35,9 +35,19 @@ func main() {
 		count = flag.Int("count", 40, "messages per bandwidth measurement")
 		round = flag.Int("rounds", 20, "round trips per latency measurement")
 		mcW   = flag.Int("mc-workers", 0, "verification tables: parallel model-checker workers (0 = all cores)")
+		trace = flag.String("trace", "", "run one traced ESP ping-pong and write its Chrome trace-event JSON here (open in Perfetto)")
+		prof  = flag.Bool("profile", false, "run one traced ESP ping-pong and print the firmware's hot-line cycle profile")
+		tsize = flag.Int("trace-size", 1024, "message size for -trace/-profile")
 	)
 	flag.Parse()
 	mcWorkers = *mcW
+
+	if *trace != "" || *prof {
+		traceRun(*trace, *prof, *tsize, *round)
+		if *fig == "" && *table == "" && !*all {
+			return
+		}
+	}
 
 	if *all {
 		fig5a(*round)
@@ -90,6 +100,29 @@ func die(err error) {
 		fmt.Fprintf(os.Stderr, "vmmcbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// traceRun runs one fully observed ESP ping-pong (the Figure 5a workload)
+// and writes the timeline and/or prints the firmware cycle profile.
+func traceRun(tracePath string, profile bool, size, rounds int) {
+	lat, tr, p, _, err := vmmc.TracePingPong(vmmc.ESP, nic.DefaultConfig(), size, rounds)
+	die(err)
+	fmt.Printf("traced ESP ping-pong: %d B, %d rounds, %.1f us one-way\n", size, rounds, lat/1000)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		die(err)
+		err = tr.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		die(err)
+		fmt.Printf("wrote %d trace events to %s\n", tr.Len(), tracePath)
+	}
+	if profile {
+		fmt.Print(p.Report(vmmc.ESPSource(nic.DefaultConfig()), 10))
+		fmt.Print(p.KindTable())
+	}
+	fmt.Println()
 }
 
 var latencySizes = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
@@ -260,6 +293,7 @@ func tableOverhead() {
 	base := runProbe(esplang.MachineConfig{})
 	fmt.Printf("  default (bit-masks, refcount transfer):   %8d cycles, %d instrs, %d ctx switches\n",
 		base.Cycles, base.Stats.Instrs, base.Stats.CtxSwitches)
+	fmt.Printf("    events: %s\n", base.Stats)
 
 	q := runProbe(esplang.MachineConfig{UseWaitQueues: true})
 	fmt.Printf("  ablation: per-pattern wait queues (§6.1): %8d cycles (%+.1f%%), %d queue ops\n",

@@ -67,6 +67,9 @@ type (
 	VerifyResult = mc.Result
 	// Violation is a property failure with its counterexample trace.
 	Violation = mc.Violation
+	// ProgressInfo is one periodic model-checking progress sample
+	// (VerifyOptions.Progress receives them).
+	ProgressInfo = mc.ProgressInfo
 
 	// COptions configures C generation.
 	COptions = cbackend.Options

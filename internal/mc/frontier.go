@@ -3,8 +3,10 @@ package mc
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 	"esplang/internal/vm"
 )
 
@@ -125,6 +127,13 @@ func (f *frontier) close() {
 	f.cond.Broadcast()
 }
 
+// size returns the number of queued (unexpanded) nodes.
+func (f *frontier) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue) - f.head
+}
+
 // foundViolation is the compact record of the first violation: the parent
 // chain plus the final choice, replayed into a full trace after the
 // workers stop.
@@ -191,7 +200,20 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 			s.worker()
 		}()
 	}
+
+	// Periodic progress sampling runs beside the workers; the final sample
+	// (Final: true) is taken after they stop, so it reflects the finished
+	// counters.
+	var progDone chan struct{}
+	if opts.Progress != nil || opts.Metrics != nil {
+		progDone = make(chan struct{})
+		go s.progressLoop(time.Now(), progDone)
+	}
 	wg.Wait()
+	if progDone != nil {
+		progDone <- struct{}{} // request the final sample
+		<-progDone             // wait until it was delivered
+	}
 
 	res.States = int(s.states.Load())
 	res.Transitions = int(s.transitions.Load())
@@ -204,6 +226,72 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 			Fault:    s.vio.fault,
 			Deadlock: s.vio.deadlock,
 			Trace:    replayTrace(prog, opts, choices),
+		}
+	}
+}
+
+// progressLoop samples the search counters every ProgressInterval,
+// feeding the Progress callback and the Metrics registry. A send on done
+// requests one final sample; the loop replies on the same channel when
+// it has been delivered.
+func (s *search) progressLoop(start time.Time, done chan struct{}) {
+	interval := s.opts.ProgressInterval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var gStates, gTrans, gFront, gMem, gRate *obs.Gauge
+	var hFront *obs.Histogram
+	if reg := s.opts.Metrics; reg != nil {
+		gStates = reg.Gauge("mc_states")
+		gTrans = reg.Gauge("mc_transitions")
+		gFront = reg.Gauge("mc_frontier")
+		gMem = reg.Gauge("mc_mem_bytes")
+		gRate = reg.Gauge("mc_states_per_sec")
+		hFront = reg.Histogram("mc_frontier_depth")
+	}
+
+	prevStates := s.states.Load()
+	prevT := start
+	emit := func(final bool) {
+		now := time.Now()
+		states := s.states.Load()
+		info := ProgressInfo{
+			States:      states,
+			Transitions: s.transitions.Load(),
+			Frontier:    s.front.size(),
+			MaxDepth:    s.maxDepth.Load(),
+			MemBytes:    s.visited.MemBytes(),
+			Elapsed:     now.Sub(start),
+			Final:       final,
+		}
+		if dt := now.Sub(prevT).Seconds(); dt > 0 {
+			info.StatesPerSec = float64(states-prevStates) / dt
+		}
+		prevStates, prevT = states, now
+		if s.opts.Metrics != nil {
+			gStates.Set(info.States)
+			gTrans.Set(info.Transitions)
+			gFront.Set(int64(info.Frontier))
+			gMem.Set(info.MemBytes)
+			gRate.Set(int64(info.StatesPerSec))
+			hFront.Observe(int64(info.Frontier))
+		}
+		if s.opts.Progress != nil {
+			s.opts.Progress(info)
+		}
+	}
+
+	for {
+		select {
+		case <-ticker.C:
+			emit(false)
+		case <-done:
+			emit(true)
+			done <- struct{}{}
+			return
 		}
 	}
 }

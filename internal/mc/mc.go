@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 	"esplang/internal/token"
 	"esplang/internal/vm"
 )
@@ -91,6 +92,42 @@ type Options struct {
 	EndRecvOK bool
 	// StepBudget bounds deterministic execution between blocking points.
 	StepBudget int64
+	// Progress, when non-nil, is called every ProgressInterval with a
+	// snapshot of the search counters (from a dedicated sampler
+	// goroutine), and once more with Final set just before Check returns.
+	// Long searches stop being silent: espverify -progress surfaces this.
+	Progress func(ProgressInfo)
+	// ProgressInterval is the sampling period (0 = 2s).
+	ProgressInterval time.Duration
+	// Metrics, when non-nil, receives the same samples as gauges
+	// (mc_states, mc_frontier, mc_states_per_sec, ...) plus an
+	// mc_frontier_depth histogram.
+	Metrics *obs.Metrics
+}
+
+// ProgressInfo is one periodic sample of a running search.
+type ProgressInfo struct {
+	States      int64 // distinct states admitted so far
+	Transitions int64
+	Frontier    int   // discovered states not yet expanded
+	MaxDepth    int64 // deepest transition sequence seen so far
+	MemBytes    int64 // visited-set memory
+	Elapsed     time.Duration
+	// StatesPerSec is the discovery rate since the previous sample (0 on
+	// the first when no time has passed).
+	StatesPerSec float64
+	// Final marks the last sample, taken after the workers stopped.
+	Final bool
+}
+
+func (p ProgressInfo) String() string {
+	tag := "progress"
+	if p.Final {
+		tag = "done"
+	}
+	return fmt.Sprintf("%s: %d states, %d transitions, frontier %d, depth %d, %.0f states/s, %.1f MB, %v",
+		tag, p.States, p.Transitions, p.Frontier, p.MaxDepth, p.StatesPerSec,
+		float64(p.MemBytes)/(1024*1024), p.Elapsed.Round(time.Millisecond))
 }
 
 func (o *Options) fill() {
@@ -193,6 +230,17 @@ func Check(prog *ir.Program, opts Options) *Result {
 	if opts.Mode == Simulation {
 		res.Workers = 1
 		simulate(prog, opts, res)
+		// Simulation has no sampler goroutine; still deliver the final
+		// snapshot so -progress callers always see a terminal sample.
+		if opts.Progress != nil {
+			opts.Progress(ProgressInfo{
+				States:      int64(res.States),
+				Transitions: int64(res.Transitions),
+				MaxDepth:    int64(res.MaxDepth),
+				Elapsed:     time.Since(start),
+				Final:       true,
+			})
+		}
 	} else {
 		searchFrontier(prog, opts, res)
 	}

@@ -15,6 +15,7 @@ package nic
 import (
 	"fmt"
 
+	"esplang/internal/obs"
 	"esplang/internal/sim"
 )
 
@@ -154,6 +155,12 @@ type NIC struct {
 	runQueued    bool
 	cyclesInRun  int64 // cycles consumed so far in the current Run (DMA issue offsets)
 
+	// trace, when set, receives one timeline span per firmware run and per
+	// DMA/wire transfer. Durations are known at issue time, so Begin/End
+	// pairs are emitted together and the trace is balanced even if the
+	// simulation stops early.
+	trace obs.SpanEmitter
+
 	// Stats.
 	CPUCycles   int64
 	PktsSent    int64
@@ -184,6 +191,45 @@ func Connect(a, b *NIC) {
 
 // OnNotify installs the host-side notification callback.
 func (n *NIC) OnNotify(fn func(Notification)) { n.notify = fn }
+
+// Hardware timeline tracks: each NIC owns a block of track ids starting
+// at trackBase + trackStride*ID, one per unit (CPU + three DMA engines).
+// They are well clear of the ESP process ids the VM uses as track ids,
+// so a NIC trace and a VM trace can share one file.
+const (
+	trackBase   = 100
+	trackStride = 10
+)
+
+func (n *NIC) track(unit int) int64 {
+	return int64(trackBase + trackStride*n.ID + unit)
+}
+
+func (n *NIC) engineTrack(e *Engine) int64 {
+	switch e {
+	case n.HostDMA:
+		return n.track(1)
+	case n.SendDMA:
+		return n.track(2)
+	default:
+		return n.track(3)
+	}
+}
+
+// SetTrace attaches a span emitter for the hardware timeline (firmware
+// runs, DMA transfers, wire arrivals). nil detaches. Timestamps are the
+// kernel's nanosecond clock; pair with a ChromeTracer built with
+// NewChromeTracer(1e-3) so they land in microseconds.
+func (n *NIC) SetTrace(tr obs.SpanEmitter) {
+	n.trace = tr
+	if tr == nil {
+		return
+	}
+	tr.SetTrackName(n.track(0), fmt.Sprintf("nic%d cpu", n.ID))
+	tr.SetTrackName(n.track(1), fmt.Sprintf("nic%d hostDMA", n.ID))
+	tr.SetTrackName(n.track(2), fmt.Sprintf("nic%d sendDMA", n.ID))
+	tr.SetTrackName(n.track(3), fmt.Sprintf("nic%d recvDMA", n.ID))
+}
 
 // ---------------------------------------------------------------------------
 // Host-side interface
@@ -269,6 +315,12 @@ func (n *NIC) StartHostDMACutThrough(bytes, leadBytes int, tag int64) bool {
 	e.Transfers++
 	e.Bytes += int64(bytes)
 	issue := n.issueTime()
+	if n.trace != nil {
+		tid := n.engineTrack(e)
+		n.trace.Begin(tid, fmt.Sprintf("hostDMA cut-through %dB", bytes), issue)
+		n.trace.End(tid, issue+e.duration(bytes))
+		n.trace.Instant(tid, fmt.Sprintf("lead %dB ready", leadBytes), issue+e.duration(leadBytes))
+	}
 	n.K.At(issue+e.duration(leadBytes), func() {
 		n.dmaDone = append(n.dmaDone, DMADone{Engine: e, Tag: tag})
 		n.Wake()
@@ -287,7 +339,13 @@ func (n *NIC) startDMA(e *Engine, bytes int, tag int64) bool {
 	e.Busy = true
 	e.Transfers++
 	e.Bytes += int64(bytes)
-	done := n.issueTime() + e.duration(bytes)
+	issue := n.issueTime()
+	done := issue + e.duration(bytes)
+	if n.trace != nil {
+		tid := n.engineTrack(e)
+		n.trace.Begin(tid, fmt.Sprintf("%s %dB", e.Name, bytes), issue)
+		n.trace.End(tid, done)
+	}
 	n.K.At(done, func() {
 		e.Busy = false
 		n.dmaDone = append(n.dmaDone, DMADone{Engine: e, Tag: tag})
@@ -316,8 +374,19 @@ func (n *NIC) SendPacket(p *Packet) bool {
 		n.PktsSent++
 		n.BytesSent += int64(p.Size)
 	}
-	sent := n.issueTime() + n.SendDMA.duration(bytes)
+	issue := n.issueTime()
+	sent := issue + n.SendDMA.duration(bytes)
 	peer := n.peer
+	if n.trace != nil {
+		tid := n.track(2)
+		name := fmt.Sprintf("pkt msg%d seq%d %dB", p.MsgID, p.Seq, bytes)
+		if p.IsAck {
+			name = fmt.Sprintf("ack %d", p.Ack)
+		}
+		n.trace.Begin(tid, name, issue)
+		n.trace.End(tid, sent)
+		n.trace.Instant(peer.track(3), "wire arrival", sent+n.Cfg.WireLatencyNs)
+	}
 	n.K.At(sent, func() {
 		n.SendDMA.Busy = false
 		n.dmaDone = append(n.dmaDone, DMADone{Engine: n.SendDMA, Tag: -1})
@@ -369,6 +438,11 @@ func (n *NIC) pumpRecv() {
 	n.RecvDMA.Transfers++
 	bytes := p.WireBytes(n.Cfg.HeaderBytes)
 	n.RecvDMA.Bytes += int64(bytes)
+	if n.trace != nil {
+		tid := n.track(3)
+		n.trace.Begin(tid, fmt.Sprintf("recvDMA %dB", bytes), n.K.Now())
+		n.trace.End(tid, n.K.Now()+n.RecvDMA.duration(bytes))
+	}
 	n.K.After(n.RecvDMA.duration(bytes), func() {
 		n.RecvDMA.Busy = false
 		n.recvRing = append(n.recvRing, p)
@@ -398,12 +472,17 @@ func (n *NIC) doRun() {
 	n.runQueued = false
 	n.cyclesInRun = 0
 	n.Runs++
+	start := n.K.Now()
 	cycles := n.FW.Run(n)
 	if n.cyclesInRun > cycles {
 		cycles = n.cyclesInRun
 	}
 	n.CPUCycles += cycles
 	n.cpuBusyUntil = n.K.Now() + cycles*n.Cfg.CPUCycleNs
+	if n.trace != nil && cycles > 0 {
+		n.trace.Begin(n.track(0), fmt.Sprintf("%s run", n.FW.Name()), start)
+		n.trace.End(n.track(0), n.cpuBusyUntil)
+	}
 	// Work the firmware left pending (a request it could not take, a
 	// packet it could not store) is always blocked on an engine or a
 	// window, and the event that unblocks it also wakes the CPU — so no

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a small instrument registry: named counters, gauges, and
+// power-of-two-bucket histograms. The hot paths (VM rendezvous, sim
+// kernel steps, model-checker workers) hold direct instrument pointers
+// obtained once from Counter/Gauge/Histogram, so steady-state updates
+// are a single atomic add — the registry map is only touched at setup
+// and snapshot time.
+//
+// Snapshots export as JSON (stable: Go sorts map keys) and as Prometheus
+// text exposition format.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1,
+// negative included). 2^62 comfortably covers any int64 observation the
+// runtime produces.
+const histBuckets = 63
+
+// Histogram counts observations in power-of-two buckets and tracks the
+// running sum, so snapshots can report count, mean, and an approximate
+// distribution without storing samples.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is a histogram's exported state.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Buckets maps the inclusive power-of-two upper bound (1, 2, 4, …)
+	// to the number of observations at or below it and above the previous
+	// bound. Empty buckets are omitted.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current values.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(m.counters)),
+		Gauges:     make(map[string]int64, len(m.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(m.histograms)),
+	}
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range m.histograms {
+		hs := HistSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[string]int64{}}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets[bucketLabel(i)] = n
+			}
+		}
+		if len(hs.Buckets) == 0 {
+			hs.Buckets = nil
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+func bucketLabel(i int) string {
+	if i >= histBuckets-1 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", int64(1)<<uint(i))
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	return m.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseSnapshot parses a snapshot previously written by WriteJSON. Used
+// by round-trip validation in CI.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics snapshot does not parse: %w", err)
+	}
+	return s, nil
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format. Instrument names have non-identifier characters replaced by
+// underscores; per-channel instruments named like "base{label}" keep the
+// braces as a label pair.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedNames(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", promBase(name), promName(name), s.Counters[name])
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", promBase(name), promName(name), s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		base := promBase(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		var cum int64
+		for i := 0; i < histBuckets; i++ {
+			n := h.Buckets[bucketLabel(i)]
+			if n == 0 {
+				continue
+			}
+			cum += n
+			le := bucketLabel(i)
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", base, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", base, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", base, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedNames(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promBase returns the metric name with any "{label}" suffix stripped
+// and remaining characters sanitized.
+func promBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return sanitize(name)
+}
+
+// promName renders a registry name for exposition: "rendezvous{c}"
+// becomes `rendezvous{chan="c"}`, plain names are sanitized verbatim.
+func promName(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return sanitize(name)
+	}
+	label := name[i+1 : len(name)-1]
+	return fmt.Sprintf("%s{chan=%q}", sanitize(name[:i]), label)
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two snapshots carry the same values. Used by the
+// CI round-trip check.
+func (s Snapshot) Equal(o Snapshot) bool {
+	a, err1 := json.Marshal(s)
+	b, err2 := json.Marshal(o)
+	return err1 == nil && err2 == nil && string(a) == string(b)
+}

@@ -1,0 +1,109 @@
+// Package obs is the observability layer of the ESP runtime: execution
+// tracing, cycle profiling, and metrics for the virtual machine, the
+// simulated NIC testbed, and the model checker.
+//
+// The paper's whole evaluation (§6.1–§6.2) rests on knowing where
+// firmware cycles go — context switches, rendezvous, reference counting —
+// so every execution layer of this repository reports into this package:
+//
+//   - the VM calls a Tracer on every context switch, rendezvous,
+//     allocation, free, fault, and external poll (nil-check-only overhead
+//     when tracing is off);
+//   - ChromeTracer renders those events as Chrome trace-event JSON
+//     (Perfetto / chrome://tracing compatible), one track per ESP process
+//     plus hardware tracks for the simulated NIC's DMA engines;
+//   - Profiler attributes CostModel cycle charges to source lines,
+//     producing the flat hot-line profile and the per-event breakdown
+//     table of §6.2;
+//   - Metrics is a counters/gauges/histograms registry with JSON and
+//     Prometheus text snapshot export, fed by the VM, the sim kernel, and
+//     the model checker's periodic progress samples.
+//
+// Timestamps are int64 and unit-agnostic: the VM uses its cycle counter
+// unless a clock is installed; the NIC testbed installs the sim kernel's
+// nanosecond clock so firmware activity lines up with DMA spans.
+package obs
+
+// Kind classifies one costed runtime event — exactly the charge classes
+// of the VM's CostModel, so a profile decomposes the cycle meter without
+// remainder.
+type Kind uint8
+
+// Event kinds (one per CostModel charge class).
+const (
+	KindInstr Kind = iota
+	KindCtxSwitch
+	KindRendezvous
+	KindAlloc
+	KindRefOp
+	KindPattern
+	KindMaskCheck
+	KindQueueOp
+	KindPoll
+	KindDeepCopy
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KindInstr:      "instr",
+	KindCtxSwitch:  "ctxswitch",
+	KindRendezvous: "rendezvous",
+	KindAlloc:      "alloc",
+	KindRefOp:      "refop",
+	KindPattern:    "pattern",
+	KindMaskCheck:  "maskcheck",
+	KindQueueOp:    "queueop",
+	KindPoll:       "poll",
+	KindDeepCopy:   "deepcopy",
+}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Tracer receives the VM's execution events. Implementations must be
+// cheap: the VM calls these from its hot path whenever a tracer is
+// installed. A nil Tracer field on the machine is the off switch — the
+// only overhead then is one nil check per event site.
+//
+// Timestamps come from the machine's clock: the cycle counter by
+// default, the sim kernel's nanosecond clock when a NIC testbed is
+// attached.
+type Tracer interface {
+	// ProcStart marks a context switch to proc: it begins running.
+	ProcStart(ts int64, proc int, name string)
+	// ProcStop marks proc leaving the CPU (blocked, halted, or faulted).
+	ProcStop(ts int64, proc int, status string)
+	// Rendezvous marks one completed message transfer on the named
+	// channel. sender/receiver are process ids; -1 means the external
+	// environment side of an external channel.
+	Rendezvous(ts int64, ch string, sender, receiver int)
+	// Alloc marks one heap allocation; live is the live-object count
+	// after it. proc is -1 when the allocation has no process context
+	// (external bindings).
+	Alloc(ts int64, proc int, live int)
+	// Free marks one heap free; live is the live-object count after it.
+	Free(ts int64, proc int, live int)
+	// Fault marks a runtime fault.
+	Fault(ts int64, proc int, msg string)
+	// Poll marks one readiness poll of an external channel binding.
+	Poll(ts int64, ch string)
+}
+
+// SpanEmitter is the generic track/span surface of a trace sink, used by
+// non-VM layers (the simulated NIC's DMA engines and packet events).
+// ChromeTracer implements it; tracks are identified by a caller-chosen
+// tid that must not collide with the VM's process ids.
+type SpanEmitter interface {
+	// SetTrackName labels a track.
+	SetTrackName(tid int64, name string)
+	// Begin opens a duration span on the track.
+	Begin(tid int64, name string, ts int64)
+	// End closes the innermost open span on the track.
+	End(tid int64, ts int64)
+	// Instant records a point event on the track.
+	Instant(tid int64, name string, ts int64)
+}

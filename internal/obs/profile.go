@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profiler attributes CostModel cycle charges to source lines. The VM
+// updates its current-line register as it dispatches instructions (using
+// the spans the compiler threads into the IR) and reports every charge
+// here with its event kind, so the profile decomposes the cycle meter
+// exactly: per line for the flat hot-line view, per kind for the §6.2
+// event-breakdown table.
+//
+// Line 0 collects charges with no source attribution (runtime work
+// outside any instruction).
+type Profiler struct {
+	// File labels the profile (the ESP source path).
+	File string
+
+	lines map[int]*LineProfile
+}
+
+// LineProfile is the accumulated cost of one source line.
+type LineProfile struct {
+	Line   int
+	Cycles [NumKinds]int64
+	Count  [NumKinds]int64
+}
+
+// Total returns the line's cycles across all kinds.
+func (l *LineProfile) Total() int64 {
+	var t int64
+	for _, c := range l.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Dominant returns the kind contributing the most cycles to the line.
+func (l *LineProfile) Dominant() Kind {
+	best := Kind(0)
+	for k := Kind(1); k < NumKinds; k++ {
+		if l.Cycles[k] > l.Cycles[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler(file string) *Profiler {
+	return &Profiler{File: file, lines: make(map[int]*LineProfile)}
+}
+
+// Add records cycles of the given kind charged while executing line.
+func (p *Profiler) Add(line int, k Kind, cycles int64) {
+	lp := p.lines[line]
+	if lp == nil {
+		lp = &LineProfile{Line: line}
+		p.lines[line] = lp
+	}
+	lp.Cycles[k] += cycles
+	lp.Count[k]++
+}
+
+// TotalCycles returns the cycles recorded across all lines.
+func (p *Profiler) TotalCycles() int64 {
+	var t int64
+	for _, lp := range p.lines {
+		t += lp.Total()
+	}
+	return t
+}
+
+// Lines returns the per-line profiles sorted by total cycles, descending
+// (ties broken by line number so the order is deterministic).
+func (p *Profiler) Lines() []*LineProfile {
+	out := make([]*LineProfile, 0, len(p.lines))
+	for _, lp := range p.lines {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Total(), out[j].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// Top returns the hottest attributed source line and its cycle total
+// (line 0 — unattributed runtime work — is skipped). It returns (0, 0)
+// on an empty profile.
+func (p *Profiler) Top() (line int, cycles int64) {
+	for _, lp := range p.Lines() {
+		if lp.Line != 0 {
+			return lp.Line, lp.Total()
+		}
+	}
+	return 0, 0
+}
+
+// KindTotals sums cycles and counts per event kind — the per-event
+// breakdown of §6.2.
+func (p *Profiler) KindTotals() (cycles, counts [NumKinds]int64) {
+	for _, lp := range p.lines {
+		for k := Kind(0); k < NumKinds; k++ {
+			cycles[k] += lp.Cycles[k]
+			counts[k] += lp.Count[k]
+		}
+	}
+	return cycles, counts
+}
+
+// Report renders the flat hot-line profile in pprof-top style: flat
+// cycles, flat%, cumulative%, the dominant event kind, the location, and
+// the source text (resolved from src when non-empty). topN bounds the
+// number of lines (0 = all).
+func (p *Profiler) Report(src string, topN int) string {
+	lines := p.Lines()
+	if topN > 0 && len(lines) > topN {
+		lines = lines[:topN]
+	}
+	total := p.TotalCycles()
+	if total == 0 {
+		return "profile: no cycles recorded\n"
+	}
+	var srcLines []string
+	if src != "" {
+		srcLines = strings.Split(src, "\n")
+	}
+	file := p.File
+	if file == "" {
+		file = "<memory>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d cycles total, %s\n", total, file)
+	fmt.Fprintf(&b, "%12s %6s %6s  %-10s %-16s %s\n", "cycles", "flat%", "cum%", "dominant", "location", "source")
+	var cum int64
+	for _, lp := range lines {
+		t := lp.Total()
+		cum += t
+		loc := fmt.Sprintf("%s:%d", file, lp.Line)
+		text := "<runtime>"
+		if lp.Line > 0 {
+			text = ""
+			if lp.Line-1 < len(srcLines) {
+				text = strings.TrimSpace(srcLines[lp.Line-1])
+			}
+		} else {
+			loc = "<runtime>"
+		}
+		fmt.Fprintf(&b, "%12d %5.1f%% %5.1f%%  %-10s %-16s %s\n",
+			t, pctOf(t, total), pctOf(cum, total), lp.Dominant(), loc, text)
+	}
+	return b.String()
+}
+
+// KindTable renders the per-event breakdown table (§6.2): for each event
+// kind, the event count, cycles, and share of the total.
+func (p *Profiler) KindTable() string {
+	cycles, counts := p.KindTotals()
+	total := p.TotalCycles()
+	var b strings.Builder
+	fmt.Fprintf(&b, "event breakdown (§6.2): %d cycles total\n", total)
+	fmt.Fprintf(&b, "%-12s %12s %12s %6s\n", "event", "count", "cycles", "cyc%")
+	for k := Kind(0); k < NumKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %12d %12d %5.1f%%\n", k, counts[k], cycles[k], pctOf(cycles[k], total))
+	}
+	return b.String()
+}
+
+func pctOf(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total) * 100
+}

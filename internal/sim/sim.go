@@ -5,6 +5,8 @@ package sim
 
 import (
 	"container/heap"
+
+	"esplang/internal/obs"
 )
 
 // Kernel is an event queue with a clock.
@@ -12,6 +14,23 @@ type Kernel struct {
 	now int64
 	seq int64
 	pq  eventQueue
+
+	// Cached metric instruments; nil when metrics are off, so the hot
+	// Step path pays a nil check only.
+	mEvents  *obs.Counter
+	hPending *obs.Histogram
+}
+
+// SetMetrics attaches a metrics registry: every fired event bumps
+// sim_events_total and samples sim_pending_events (queue depth after the
+// pop, i.e. the backlog the event left behind). nil detaches.
+func (k *Kernel) SetMetrics(reg *obs.Metrics) {
+	if reg == nil {
+		k.mEvents, k.hPending = nil, nil
+		return
+	}
+	k.mEvents = reg.Counter("sim_events_total")
+	k.hPending = reg.Histogram("sim_pending_events")
 }
 
 // New returns a kernel at time 0.
@@ -43,6 +62,10 @@ func (k *Kernel) Step() bool {
 	}
 	ev := heap.Pop(&k.pq).(*event)
 	k.now = ev.time
+	if k.mEvents != nil {
+		k.mEvents.Inc()
+		k.hPending.Observe(int64(k.pq.Len()))
+	}
 	ev.fn()
 	return true
 }

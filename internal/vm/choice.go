@@ -115,7 +115,7 @@ func (m *Machine) FireComm(c CommChoice) {
 
 	if c.SenderArm < 0 {
 		// Plain sender: the value exists; deliver directly.
-		if !m.deliver(s.Pending, s.PendingFlags, r, port) {
+		if !m.deliver(s.Pending, s.PendingFlags, s.ID, r, port) {
 			m.fault(&Fault{Kind: FaultInternal,
 				Msg: fmt.Sprintf("FireComm: value does not match receiver pattern (%s)", c)})
 			return
@@ -256,5 +256,6 @@ func (m *Machine) Clone() *Machine {
 	for k, v := range m.recvQ {
 		n.recvQ[k] = append([]int(nil), v...)
 	}
+	n.hookHeap()
 	return n
 }

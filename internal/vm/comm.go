@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 )
 
 // ---------------------------------------------------------------------------
@@ -12,7 +13,7 @@ import (
 // match tests a receive pattern against a value without side effects,
 // charging PatternNode per node examined.
 func (m *Machine) match(pat *ir.Pat, v Value, recv *ProcInst) bool {
-	m.charge(m.Cost.PatternNode)
+	m.chargeEv(obs.KindPattern, m.Cost.PatternNode)
 	m.Stats.PatternNodes++
 	switch pat.Kind {
 	case ir.PatAny, ir.PatBind:
@@ -53,7 +54,7 @@ func (m *Machine) bindPat(pat *ir.Pat, v Value, recv *ProcInst) {
 				m.setFault(f, recv)
 				return
 			}
-			m.charge(m.Cost.RefOp)
+			m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 			m.Stats.RefOps++
 		}
 		recv.Locals[pat.Slot] = v
@@ -69,14 +70,17 @@ func (m *Machine) bindPat(pat *ir.Pat, v Value, recv *ProcInst) {
 // deliver completes a transfer: it matches the receiver's port pattern
 // against v and, on success, performs the reference-count dance (or a
 // physical deep copy in the ablation mode) and binds the components. It
-// does not change scheduling state. flags are the sender's Send flags.
-func (m *Machine) deliver(v Value, flags int, recv *ProcInst, portIdx int) bool {
+// does not change scheduling state. flags are the sender's Send flags;
+// sender is the sending process id (-1 = external environment), used
+// only for tracing.
+func (m *Machine) deliver(v Value, flags int, sender int, recv *ProcInst, portIdx int) bool {
 	port := recv.Def.Ports[portIdx]
 	if !m.match(port.Pat, v, recv) {
 		return false
 	}
-	m.charge(m.Cost.Rendezvous)
+	m.chargeEv(obs.KindRendezvous, m.Cost.Rendezvous)
 	m.Stats.Rendezvous++
+	m.traceRendezvous(port.Chan, sender, recv.ID)
 
 	if m.Config.ForceDeepCopy && v.IsRef {
 		cp := m.deepCopy(v)
@@ -102,7 +106,7 @@ func (m *Machine) deliver(v Value, flags int, recv *ProcInst, portIdx int) bool 
 		if f := m.heap.Unlink(v.Ref); f != nil {
 			m.setFault(f, recv)
 		}
-		m.charge(m.Cost.RefOp)
+		m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 		m.Stats.RefOps++
 	}
 	return true
@@ -115,7 +119,7 @@ func (m *Machine) deepCopy(v Value) Value {
 	var cp func(v Value) Value
 	cp = func(v Value) Value {
 		if !v.IsRef {
-			m.charge(m.Cost.DeepCopyWord)
+			m.chargeEv(obs.KindDeepCopy, m.Cost.DeepCopyWord)
 			m.Stats.DeepCopied++
 			return v
 		}
@@ -129,12 +133,13 @@ func (m *Machine) deepCopy(v Value) Value {
 			return v
 		}
 		m.Stats.Allocs++
+		m.traceAlloc(-1)
 		seen[o] = n
 		n.Tag = o.Tag
 		for i, e := range o.Elems {
 			n.Elems[i] = cp(e)
 		}
-		m.charge(m.Cost.DeepCopyWord * int64(len(o.Elems)+1))
+		m.chargeEv(obs.KindDeepCopy, m.Cost.DeepCopyWord*int64(len(o.Elems)+1))
 		m.Stats.DeepCopied += int64(len(o.Elems) + 1)
 		return RefVal(n)
 	}
@@ -217,14 +222,14 @@ func (m *Machine) tryCompleteSend(s *ProcInst) bool {
 		m.commitTarget, m.commitArm = -1, -1
 		switch {
 		case r.Status == PBlockedRecv && r.WaitChan == chanID:
-			if m.deliver(v, flags, r, r.WaitPort) {
+			if m.deliver(v, flags, s.ID, r, r.WaitPort) {
 				m.unblock(r, r.ResumePC)
 				s.Pending = Value{}
 				return true
 			}
 		case r.Status == PBlockedAlt && arm >= 0:
 			a := &r.Def.Alts[r.AltIdx].Arms[arm]
-			if !a.IsSend && a.Chan == chanID && guardTrue(r, a) && m.deliver(v, flags, r, a.Port) {
+			if !a.IsSend && a.Chan == chanID && guardTrue(r, a) && m.deliver(v, flags, s.ID, r, a.Port) {
 				m.unblock(r, a.BodyPC)
 				s.Pending = Value{}
 				return true
@@ -245,7 +250,7 @@ func (m *Machine) tryCompleteSend(s *ProcInst) bool {
 			if r.WaitChan != chanID {
 				continue
 			}
-			if m.deliver(v, flags, r, r.WaitPort) {
+			if m.deliver(v, flags, s.ID, r, r.WaitPort) {
 				m.unblock(r, r.ResumePC)
 				s.Pending = Value{}
 				return true
@@ -257,7 +262,7 @@ func (m *Machine) tryCompleteSend(s *ProcInst) bool {
 				if arm.IsSend || arm.Chan != chanID || !guardTrue(r, arm) {
 					continue
 				}
-				if m.deliver(v, flags, r, arm.Port) {
+				if m.deliver(v, flags, s.ID, r, arm.Port) {
 					m.unblock(r, arm.BodyPC)
 					s.Pending = Value{}
 					return true
@@ -267,17 +272,19 @@ func (m *Machine) tryCompleteSend(s *ProcInst) bool {
 	}
 
 	if er, ok := m.extR[chanID]; ok {
-		m.charge(m.Cost.ExternalPoll)
+		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
+		m.tracePoll(chanID)
 		if er.Ready(m) {
-			m.charge(m.Cost.Rendezvous)
+			m.chargeEv(obs.KindRendezvous, m.Cost.Rendezvous)
 			m.Stats.Rendezvous++
+			m.traceRendezvous(chanID, s.ID, -1)
 			er.Put(m, v)
 			if flags&ir.FlagFreeAfter != 0 && v.IsRef {
 				if f := m.heap.Unlink(v.Ref); f != nil {
 					m.setFault(f, s)
 				}
-				m.charge(m.Cost.RefOp)
+				m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 				m.Stats.RefOps++
 			}
 			s.Pending = Value{}
@@ -302,7 +309,7 @@ func (m *Machine) tryCompleteRecv(r *ProcInst) bool {
 		}
 		m.maskCharge()
 		if s.Status == PBlockedSend && s.WaitChan == chanID {
-			if m.deliver(s.Pending, s.PendingFlags, r, r.WaitPort) {
+			if m.deliver(s.Pending, s.PendingFlags, s.ID, r, r.WaitPort) {
 				m.unblock(s, s.ResumePC)
 				return true
 			}
@@ -331,8 +338,9 @@ func (m *Machine) tryCompleteRecv(r *ProcInst) bool {
 	}
 	// 3. External writer.
 	if ew, ok := m.extW[chanID]; ok {
-		m.charge(m.Cost.ExternalPoll)
+		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
+		m.tracePoll(chanID)
 		if caseIdx, ok := ew.Ready(m); ok {
 			ch := m.Prog.Channels[chanID]
 			if caseIdx < len(ch.Cases) && patsOverlap(ch.Cases[caseIdx].Pat, r.Def.Ports[r.WaitPort].Pat) {
@@ -340,7 +348,7 @@ func (m *Machine) tryCompleteRecv(r *ProcInst) bool {
 				if m.flt != nil {
 					return false
 				}
-				if m.deliver(v, ir.FlagFreeAfter, r, r.WaitPort) {
+				if m.deliver(v, ir.FlagFreeAfter, -1, r, r.WaitPort) {
 					return true
 				}
 				m.setFault(&Fault{Kind: FaultNoMatchingPort,
@@ -430,8 +438,9 @@ func (m *Machine) altSendArm(p *ProcInst, arm *ir.AltArm) (int, bool) {
 		}
 	}
 	if er, ok := m.extR[arm.Chan]; ok {
-		m.charge(m.Cost.ExternalPoll)
+		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
+		m.tracePoll(arm.Chan)
 		if er.Ready(m) {
 			return arm.EvalPC, true
 		}
@@ -452,7 +461,7 @@ func (m *Machine) altRecvArm(p *ProcInst, arm *ir.AltArm) (int, bool, bool) {
 		}
 		m.maskCharge()
 		if s.Status == PBlockedSend && s.WaitChan == arm.Chan {
-			if m.deliver(s.Pending, s.PendingFlags, p, arm.Port) {
+			if m.deliver(s.Pending, s.PendingFlags, s.ID, p, arm.Port) {
 				m.unblock(s, s.ResumePC)
 				return arm.BodyPC, true, false
 			}
@@ -483,8 +492,9 @@ func (m *Machine) altRecvArm(p *ProcInst, arm *ir.AltArm) (int, bool, bool) {
 	}
 	// 3. External writer.
 	if ew, ok := m.extW[arm.Chan]; ok {
-		m.charge(m.Cost.ExternalPoll)
+		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
+		m.tracePoll(arm.Chan)
 		if caseIdx, ok := ew.Ready(m); ok {
 			ch := m.Prog.Channels[arm.Chan]
 			if caseIdx < len(ch.Cases) && patsOverlap(ch.Cases[caseIdx].Pat, p.Def.Ports[arm.Port].Pat) {
@@ -492,7 +502,7 @@ func (m *Machine) altRecvArm(p *ProcInst, arm *ir.AltArm) (int, bool, bool) {
 				if m.flt != nil {
 					return 0, false, false
 				}
-				if m.deliver(v, ir.FlagFreeAfter, p, arm.Port) {
+				if m.deliver(v, ir.FlagFreeAfter, -1, p, arm.Port) {
 					return arm.BodyPC, true, false
 				}
 				m.setFault(&Fault{Kind: FaultNoMatchingPort,
@@ -515,8 +525,9 @@ func (m *Machine) Poll() bool {
 
 	for _, chanID := range m.extWIDs() {
 		ew := m.extW[chanID]
-		m.charge(m.Cost.ExternalPoll)
+		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
+		m.tracePoll(chanID)
 		caseIdx, ok := ew.Ready(m)
 		if !ok {
 			continue
@@ -547,7 +558,7 @@ func (m *Machine) Poll() bool {
 						return injected
 					}
 				}
-				if m.deliver(v, ir.FlagFreeAfter, r, r.WaitPort) {
+				if m.deliver(v, ir.FlagFreeAfter, -1, r, r.WaitPort) {
 					m.unblock(r, r.ResumePC)
 					matched = true
 				}
@@ -566,7 +577,7 @@ func (m *Machine) Poll() bool {
 							return injected
 						}
 					}
-					if m.deliver(v, ir.FlagFreeAfter, r, arm.Port) {
+					if m.deliver(v, ir.FlagFreeAfter, -1, r, arm.Port) {
 						m.unblock(r, arm.BodyPC)
 						matched = true
 						break
@@ -595,13 +606,15 @@ func (m *Machine) Poll() bool {
 				if s.WaitChan != chanID {
 					continue
 				}
-				m.charge(m.Cost.ExternalPoll)
+				m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 				m.Stats.Polls++
+				m.tracePoll(chanID)
 				if !er.Ready(m) {
 					continue
 				}
-				m.charge(m.Cost.Rendezvous)
+				m.chargeEv(obs.KindRendezvous, m.Cost.Rendezvous)
 				m.Stats.Rendezvous++
+				m.traceRendezvous(chanID, s.ID, -1)
 				er.Put(m, s.Pending)
 				if s.PendingFlags&ir.FlagFreeAfter != 0 && s.Pending.IsRef {
 					if f := m.heap.Unlink(s.Pending.Ref); f != nil {
@@ -618,8 +631,9 @@ func (m *Machine) Poll() bool {
 					if !arm.IsSend || arm.Chan != chanID || !guardTrue(s, arm) {
 						continue
 					}
-					m.charge(m.Cost.ExternalPoll)
+					m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 					m.Stats.Polls++
+					m.tracePoll(chanID)
 					if !er.Ready(m) {
 						continue
 					}

@@ -1,5 +1,10 @@
 package vm
 
+import (
+	"fmt"
+	"strings"
+)
+
 // CostModel assigns a cycle cost to each class of runtime event. The
 // defaults approximate the 33 MHz LANai4.1 of the paper's Myrinet cards:
 // the interpreter dispatch makes one IR instruction cost several machine
@@ -55,4 +60,57 @@ type Stats struct {
 	QueueOps     int64
 	Polls        int64
 	DeepCopied   int64 // words
+}
+
+// Sub returns the event counts accumulated since o was captured
+// (field-wise s - o). Use it to meter one phase of a longer run:
+//
+//	before := m.Stats
+//	...
+//	delta := m.Stats.Sub(before)
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Instrs:       s.Instrs - o.Instrs,
+		CtxSwitches:  s.CtxSwitches - o.CtxSwitches,
+		Rendezvous:   s.Rendezvous - o.Rendezvous,
+		Allocs:       s.Allocs - o.Allocs,
+		Frees:        s.Frees - o.Frees,
+		RefOps:       s.RefOps - o.RefOps,
+		PatternNodes: s.PatternNodes - o.PatternNodes,
+		MaskChecks:   s.MaskChecks - o.MaskChecks,
+		QueueOps:     s.QueueOps - o.QueueOps,
+		Polls:        s.Polls - o.Polls,
+		DeepCopied:   s.DeepCopied - o.DeepCopied,
+	}
+}
+
+// String renders the counters on one line, zero fields omitted — the
+// shared pretty-printer behind esprun -stats, vmmcbench's overhead
+// table, and the profiler's summaries.
+func (s Stats) String() string {
+	var b strings.Builder
+	add := func(name string, v int64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	add("instrs", s.Instrs)
+	add("ctxsw", s.CtxSwitches)
+	add("rendezvous", s.Rendezvous)
+	add("allocs", s.Allocs)
+	add("frees", s.Frees)
+	add("refops", s.RefOps)
+	add("patnodes", s.PatternNodes)
+	add("maskchecks", s.MaskChecks)
+	add("queueops", s.QueueOps)
+	add("polls", s.Polls)
+	add("deepcopied", s.DeepCopied)
+	if b.Len() == 0 {
+		return "(no events)"
+	}
+	return b.String()
 }

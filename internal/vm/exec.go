@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 )
 
 // exec runs process p until it blocks, halts, or faults. It implements
@@ -45,7 +46,10 @@ func (m *Machine) exec(p *ProcInst) {
 			return
 		}
 		in := code[pc]
-		m.charge(m.Cost.PerInstr)
+		if m.prof != nil {
+			m.curLine = in.Pos.Line
+		}
+		m.chargeEv(obs.KindInstr, m.Cost.PerInstr)
 		m.Stats.Instrs++
 		p.PC = pc
 
@@ -141,8 +145,9 @@ func (m *Machine) exec(p *ProcInst) {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)
 				return
 			}
-			m.charge(m.Cost.Alloc)
+			m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 			m.Stats.Allocs++
+			m.traceAlloc(p.ID)
 			for i := in.B - 1; i >= 0; i-- {
 				v := pop()
 				o.Elems[i] = v
@@ -154,7 +159,7 @@ func (m *Machine) exec(p *ProcInst) {
 						m.setFault(f, p)
 						return
 					}
-					m.charge(m.Cost.RefOp)
+					m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 					m.Stats.RefOps++
 				}
 			}
@@ -168,8 +173,9 @@ func (m *Machine) exec(p *ProcInst) {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)
 				return
 			}
-			m.charge(m.Cost.Alloc)
+			m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 			m.Stats.Allocs++
+			m.traceAlloc(p.ID)
 			o.Tag = in.B
 			o.Elems[0] = v
 			if v.IsRef && in.Val&1 == 0 {
@@ -177,7 +183,7 @@ func (m *Machine) exec(p *ProcInst) {
 					m.setFault(f, p)
 					return
 				}
-				m.charge(m.Cost.RefOp)
+				m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 				m.Stats.RefOps++
 			}
 			push(RefVal(o))
@@ -195,8 +201,9 @@ func (m *Machine) exec(p *ProcInst) {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)
 				return
 			}
-			m.charge(m.Cost.Alloc)
+			m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 			m.Stats.Allocs++
+			m.traceAlloc(p.ID)
 			for i := range o.Elems {
 				o.Elems[i] = init
 			}
@@ -223,7 +230,7 @@ func (m *Machine) exec(p *ProcInst) {
 					m.setFault(f, p)
 					return
 				}
-				m.charge(m.Cost.RefOp)
+				m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 				m.Stats.RefOps++
 			}
 			if old.IsRef {
@@ -231,7 +238,7 @@ func (m *Machine) exec(p *ProcInst) {
 					m.setFault(f, p)
 					return
 				}
-				m.charge(m.Cost.RefOp)
+				m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 				m.Stats.RefOps++
 			}
 			pc++
@@ -284,7 +291,7 @@ func (m *Machine) exec(p *ProcInst) {
 				m.setFault(f, p)
 				return
 			}
-			m.charge(m.Cost.RefOp)
+			m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 			m.Stats.RefOps++
 			pc++
 		case ir.Unlink:
@@ -297,7 +304,7 @@ func (m *Machine) exec(p *ProcInst) {
 				m.setFault(f, p)
 				return
 			}
-			m.charge(m.Cost.RefOp)
+			m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 			m.Stats.RefOps++
 			pc++
 		case ir.CastCopy:
@@ -311,8 +318,9 @@ func (m *Machine) exec(p *ProcInst) {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)
 				return
 			}
-			m.charge(m.Cost.Alloc)
+			m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 			m.Stats.Allocs++
+			m.traceAlloc(p.ID)
 			n.Tag = o.Tag
 			copy(n.Elems, o.Elems)
 			for _, e := range n.Elems {
@@ -321,7 +329,7 @@ func (m *Machine) exec(p *ProcInst) {
 						m.setFault(f, p)
 						return
 					}
-					m.charge(m.Cost.RefOp)
+					m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 					m.Stats.RefOps++
 				}
 			}

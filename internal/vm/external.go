@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 	"esplang/internal/types"
 )
 
@@ -144,8 +145,9 @@ func (m *Machine) NewRecordV(t *types.Type, elems ...Value) Value {
 		m.fault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"})
 		return Value{}
 	}
-	m.charge(m.Cost.Alloc)
+	m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 	m.Stats.Allocs++
+	m.traceAlloc(-1)
 	copy(o.Elems, elems)
 	return RefVal(o)
 }
@@ -157,8 +159,9 @@ func (m *Machine) NewUnionV(t *types.Type, tag int, payload Value) Value {
 		m.fault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"})
 		return Value{}
 	}
-	m.charge(m.Cost.Alloc)
+	m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 	m.Stats.Allocs++
+	m.traceAlloc(-1)
 	o.Tag = tag
 	o.Elems[0] = payload
 	return RefVal(o)
@@ -171,8 +174,9 @@ func (m *Machine) NewArrayV(t *types.Type, n int, init Value) Value {
 		m.fault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"})
 		return Value{}
 	}
-	m.charge(m.Cost.Alloc)
+	m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 	m.Stats.Allocs++
+	m.traceAlloc(-1)
 	for i := range o.Elems {
 		o.Elems[i] = init
 	}
@@ -186,8 +190,9 @@ func (m *Machine) NewArrayFromInts(t *types.Type, data []int64) Value {
 		m.fault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"})
 		return Value{}
 	}
-	m.charge(m.Cost.Alloc)
+	m.chargeEv(obs.KindAlloc, m.Cost.Alloc)
 	m.Stats.Allocs++
+	m.traceAlloc(-1)
 	for i, d := range data {
 		o.Elems[i] = IntVal(d)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"esplang/internal/ir"
+	"esplang/internal/obs"
 )
 
 // ProcStatus is the scheduling state of a process instance.
@@ -107,6 +108,24 @@ type Machine struct {
 	// Wait-queue mode state (UseWaitQueues).
 	sendQ map[int][]int
 	recvQ map[int][]int
+
+	// Observability (all nil/zero when off — see obs.go). curLine is the
+	// source line of the instruction being executed, maintained only while
+	// a profiler is installed. allIdx caches the all-processes index list
+	// the bit-mask candidate scan returns, built lazily on first use.
+	tracer  obs.Tracer
+	prof    *obs.Profiler
+	clock   func() int64
+	curLine int
+	allIdx  []int
+
+	metrics *obs.Metrics
+	mRend   []*obs.Counter
+	mCtx    *obs.Counter
+	mAllocs *obs.Counter
+	mFrees  *obs.Counter
+	mPolls  *obs.Counter
+	mReady  *obs.Histogram
 }
 
 // New creates a machine for prog. All processes start ready, in
@@ -140,6 +159,7 @@ func New(prog *ir.Program, cfg Config) *Machine {
 	for i := len(m.Procs) - 1; i >= 0; i-- {
 		m.ready = append(m.ready, i)
 	}
+	m.hookHeap()
 	return m
 }
 
@@ -176,8 +196,6 @@ func (m *Machine) BindReader(chanName string, r ExternalReader) error {
 	return nil
 }
 
-func (m *Machine) charge(n int64) { m.Cycles += n }
-
 func (m *Machine) setFault(f *Fault, p *ProcInst) {
 	if m.flt != nil {
 		return
@@ -193,6 +211,13 @@ func (m *Machine) setFault(f *Fault, p *ProcInst) {
 		f.File = m.Prog.File
 	}
 	m.flt = f
+	if m.tracer != nil {
+		proc := -1
+		if p != nil {
+			proc = p.ID
+		}
+		m.tracer.Fault(m.now(), proc, f.Msg)
+	}
 }
 
 // fault records a fault with no process attribution (used by external
@@ -249,8 +274,22 @@ func (m *Machine) RunReady() {
 		if p.Status != PReady {
 			continue // stale entry
 		}
-		m.charge(m.Cost.CtxSwitch)
+		if m.prof != nil && p.PC >= 0 && p.PC < len(p.Def.Code) {
+			// Attribute the switch to the line being resumed.
+			m.curLine = p.Def.Code[p.PC].Pos.Line
+		}
+		m.chargeEv(obs.KindCtxSwitch, m.Cost.CtxSwitch)
 		m.Stats.CtxSwitches++
+		if m.mCtx != nil {
+			m.mCtx.Inc()
+			m.mReady.Observe(int64(len(m.ready)))
+		}
+		if m.tracer != nil {
+			m.tracer.ProcStart(m.now(), p.ID, p.Def.Name)
+			m.exec(p)
+			m.tracer.ProcStop(m.now(), p.ID, p.Status.String())
+			continue
+		}
 		m.exec(p)
 	}
 }
@@ -292,7 +331,7 @@ func (m *Machine) regSend(p *ProcInst, chanID int) {
 		return
 	}
 	m.sendQ[chanID] = append(m.sendQ[chanID], p.ID)
-	m.charge(m.Cost.QueueOp)
+	m.chargeEv(obs.KindQueueOp, m.Cost.QueueOp)
 	m.Stats.QueueOps++
 }
 
@@ -301,7 +340,7 @@ func (m *Machine) regRecv(p *ProcInst, chanID int) {
 		return
 	}
 	m.recvQ[chanID] = append(m.recvQ[chanID], p.ID)
-	m.charge(m.Cost.QueueOp)
+	m.chargeEv(obs.KindQueueOp, m.Cost.QueueOp)
 	m.Stats.QueueOps++
 }
 
@@ -322,7 +361,7 @@ func (m *Machine) unregister(p *ProcInst) {
 
 func removeID(q []int, id int, m *Machine) []int {
 	for i, v := range q {
-		m.charge(m.Cost.QueueOp)
+		m.chargeEv(obs.KindQueueOp, m.Cost.QueueOp)
 		m.Stats.QueueOps++
 		if v == id {
 			return append(q[:i], q[i+1:]...)
@@ -343,11 +382,15 @@ func (m *Machine) candidates(chanID int, send bool) []int {
 		}
 		return m.recvQ[chanID]
 	}
-	m.charge(m.Cost.MaskCheck)
+	m.chargeEv(obs.KindMaskCheck, m.Cost.MaskCheck)
 	m.Stats.MaskChecks++
-	idxs := make([]int, len(m.Procs))
-	for i := range m.Procs {
-		idxs[i] = i
+	if len(m.allIdx) != len(m.Procs) {
+		// Built once per machine (the process set is fixed after New) and
+		// only ever read by the scan loops, so the scan is allocation-free.
+		m.allIdx = make([]int, len(m.Procs))
+		for i := range m.Procs {
+			m.allIdx[i] = i
+		}
 	}
-	return idxs
+	return m.allIdx
 }

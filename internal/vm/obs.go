@@ -1,0 +1,117 @@
+package vm
+
+import (
+	"esplang/internal/obs"
+)
+
+// Observability hooks. All of them are nil by default; every hot-path
+// site guards with one nil check, so a machine with no tracer, profiler,
+// or metrics attached pays nothing beyond those checks (the tentpole's
+// zero-cost-when-disabled contract, verified by the equivalence and
+// allocation tests in obs_vm_test.go).
+
+// SetTracer installs (or removes, with nil) an execution tracer. The
+// tracer receives every context switch, rendezvous, alloc/free, fault,
+// and external poll.
+func (m *Machine) SetTracer(t obs.Tracer) { m.tracer = t }
+
+// SetProfiler installs (or removes, with nil) a cycle profiler. While
+// installed, every CostModel charge is attributed to the source line of
+// the instruction being executed (PR 1's spans).
+func (m *Machine) SetProfiler(p *obs.Profiler) { m.prof = p }
+
+// SetClock installs the timestamp source for trace events. Nil (the
+// default) timestamps events with the machine's cycle counter; the NIC
+// testbed installs the sim kernel's nanosecond clock so firmware events
+// line up with DMA spans.
+func (m *Machine) SetClock(fn func() int64) { m.clock = fn }
+
+// SetMetrics attaches a metrics registry. The instrument pointers are
+// resolved once here, so steady-state updates are single atomic adds.
+func (m *Machine) SetMetrics(reg *obs.Metrics) {
+	m.metrics = reg
+	if reg == nil {
+		m.mRend = nil
+		m.mCtx, m.mAllocs, m.mFrees, m.mPolls = nil, nil, nil, nil
+		m.mReady = nil
+		return
+	}
+	m.mRend = make([]*obs.Counter, len(m.Prog.Channels))
+	for i, ch := range m.Prog.Channels {
+		m.mRend[i] = reg.Counter("vm_rendezvous{" + ch.Name + "}")
+	}
+	m.mCtx = reg.Counter("vm_ctx_switches_total")
+	m.mAllocs = reg.Counter("vm_allocs_total")
+	m.mFrees = reg.Counter("vm_frees_total")
+	m.mPolls = reg.Counter("vm_polls_total")
+	m.mReady = reg.Histogram("vm_ready_queue_depth")
+}
+
+// Metrics returns the attached registry (nil when none).
+func (m *Machine) Metrics() *obs.Metrics { return m.metrics }
+
+// now returns the trace timestamp: the installed clock, or the cycle
+// counter.
+func (m *Machine) now() int64 {
+	if m.clock != nil {
+		return m.clock()
+	}
+	return m.Cycles
+}
+
+// chargeEv advances the cycle meter and, when a profiler is installed,
+// attributes the charge to the current source line under the given event
+// kind. The cycle total is identical with and without a profiler.
+func (m *Machine) chargeEv(k obs.Kind, n int64) {
+	m.Cycles += n
+	if m.prof != nil {
+		m.prof.Add(m.curLine, k, n)
+	}
+}
+
+// traceRendezvous reports one completed transfer on chanID. Either side
+// is -1 for the external environment.
+func (m *Machine) traceRendezvous(chanID, sender, receiver int) {
+	if m.mRend != nil {
+		m.mRend[chanID].Inc()
+	}
+	if m.tracer != nil {
+		m.tracer.Rendezvous(m.now(), m.Prog.Channels[chanID].Name, sender, receiver)
+	}
+}
+
+// traceAlloc reports one heap allocation (proc -1 = no process context).
+func (m *Machine) traceAlloc(proc int) {
+	if m.mAllocs != nil {
+		m.mAllocs.Inc()
+	}
+	if m.tracer != nil {
+		m.tracer.Alloc(m.now(), proc, m.heap.live)
+	}
+}
+
+// tracePoll reports one readiness poll of an external binding.
+func (m *Machine) tracePoll(chanID int) {
+	if m.mPolls != nil {
+		m.mPolls.Inc()
+	}
+	if m.tracer != nil {
+		m.tracer.Poll(m.now(), m.Prog.Channels[chanID].Name)
+	}
+}
+
+// hookHeap installs the heap free callback that keeps Stats.Frees, the
+// free metric, and the tracer's live-object counter in step with the
+// reference counter. Called from New and Clone (the closure must capture
+// the owning machine).
+func (m *Machine) hookHeap() {
+	m.heap.onFree = func() {
+		m.Stats.Frees++
+		if m.mFrees != nil {
+			m.mFrees.Inc()
+		}
+		if m.tracer != nil {
+			m.tracer.Free(m.now(), -1, m.heap.live)
+		}
+	}
+}

@@ -97,6 +97,12 @@ type Heap struct {
 	live   int
 	allocs int64
 	frees  int64
+
+	// onFree, when set, is called after each free (with the live count
+	// already decremented). The owning machine installs it to keep
+	// Stats.Frees and the observability layer in step (see
+	// Machine.hookHeap).
+	onFree func()
 }
 
 // Live returns the number of currently live objects.
@@ -130,6 +136,9 @@ func (h *Heap) free(o *Object) *Fault {
 	o.Freed = true
 	h.live--
 	h.frees++
+	if h.onFree != nil {
+		h.onFree()
+	}
 	for _, e := range o.Elems {
 		if e.IsRef {
 			if f := h.Unlink(e.Ref); f != nil {

@@ -5,6 +5,7 @@ import (
 
 	esplang "esplang"
 	"esplang/internal/nic"
+	"esplang/internal/obs"
 	"esplang/internal/types"
 	"esplang/internal/vm"
 )
@@ -17,6 +18,13 @@ import (
 type ESPFirmware struct {
 	m *vm.Machine
 	b *espBridge
+
+	// Simulated-time anchor for VM trace timestamps: at the start of each
+	// firmware run the NIC clock and the cycle meter are recorded, so the
+	// VM clock can place every event at runStartNs plus the nanoseconds
+	// the cycles consumed since then represent.
+	runStartNs     int64
+	runStartCycles int64
 }
 
 // maxLiveObjects bounds the firmware heap: if the ESP code leaked, long
@@ -62,11 +70,33 @@ func (f *ESPFirmware) Name() string { return "vmmcESP" }
 // Machine exposes the underlying VM (stats, fault inspection).
 func (f *ESPFirmware) Machine() *vm.Machine { return f.m }
 
+// AttachObs wires the VM's observability hooks to this firmware: tr
+// receives one timeline track per ESP process, prof attributes cycle
+// charges to ESP source lines, and reg collects the VM counters. The
+// VM's trace clock is anchored to the NIC's simulated nanosecond time
+// (see runStartNs), so VM process spans line up with the hardware spans
+// on the same timeline. Pass nils to detach.
+func (f *ESPFirmware) AttachObs(tr obs.Tracer, prof *obs.Profiler, reg *obs.Metrics) {
+	f.m.SetTracer(tr)
+	f.m.SetProfiler(prof)
+	f.m.SetMetrics(reg)
+	if tr == nil && prof == nil {
+		f.m.SetClock(nil)
+		return
+	}
+	cyc := f.b.n.Cfg.CPUCycleNs
+	f.m.SetClock(func() int64 {
+		return f.runStartNs + (f.m.Cycles-f.runStartCycles)*cyc
+	})
+}
+
 // Run implements nic.Firmware: execute the VM until idle; the consumed
 // cycles come from the VM's cost meter.
 func (f *ESPFirmware) Run(n *nic.NIC) int64 {
 	start := f.m.Cycles
 	f.b.cyclesFwd = start
+	f.runStartNs = n.K.Now()
+	f.runStartCycles = start
 	res := f.m.Run()
 	if res == vm.RunFault {
 		panic(fmt.Sprintf("vmmc: ESP firmware fault on NIC %d: %v", n.ID, f.m.Fault()))

@@ -1,0 +1,67 @@
+package vmmc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"esplang/internal/nic"
+	"esplang/internal/obs"
+)
+
+// TestTracePingPongEquivalence checks the observability layer's core
+// contract on the full testbed: attaching the tracer, profiler, and
+// metrics must not change what the simulation computes.
+func TestTracePingPongEquivalence(t *testing.T) {
+	for _, flavor := range []Flavor{ESP, Orig} {
+		plain, err := PingPong(flavor, nic.DefaultConfig(), 1024, 4)
+		if err != nil {
+			t.Fatalf("%s: plain: %v", flavor, err)
+		}
+		traced, _, _, _, err := TracePingPong(flavor, nic.DefaultConfig(), 1024, 4)
+		if err != nil {
+			t.Fatalf("%s: traced: %v", flavor, err)
+		}
+		if plain != traced {
+			t.Errorf("%s: latency changed under tracing: %v ns plain, %v ns traced",
+				flavor, plain, traced)
+		}
+	}
+}
+
+// TestTracePingPongTrace checks the trace itself: valid Chrome JSON,
+// hardware tracks for both NICs, and (ESP flavor) process tracks and
+// rendezvous events from both firmware VMs without track collisions.
+func TestTracePingPongTrace(t *testing.T) {
+	_, tr, prof, reg, err := TracePingPong(ESP, nic.DefaultConfig(), 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace is empty")
+	}
+	for _, want := range []string{"nic0 hostDMA", "nic1 sendDMA", "recvDMA", "vmmcESP run"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+
+	if prof.TotalCycles() == 0 {
+		t.Error("profiler recorded no cycles")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sim_events_total"] == 0 {
+		t.Error("sim_events_total not collected")
+	}
+	if len(snap.Counters) == 0 {
+		t.Error("no VM counters collected")
+	}
+}
