@@ -1,0 +1,357 @@
+// Command benchrec records the PR's headline benchmarks — the Figure 5
+// firmware workloads and the §5.3 verification runs — under both
+// execution engines and writes the numbers (ns/op, allocs/op, verifier
+// states and states/sec, and the fused-over-baseline speedups) to a JSON
+// file, so performance claims are checked in, reproducible, and easy to
+// diff across commits:
+//
+//	go run ./cmd/benchrec -out BENCH_PR4.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	esplang "esplang"
+	"esplang/internal/nic"
+	"esplang/internal/vmmc"
+)
+
+// Bench is one recorded benchmark run.
+type Bench struct {
+	Name        string             `json:"name"`
+	Engine      string             `json:"engine"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout of BENCH_PR4.json. Speedups compares the
+// two engines inside this build; SeedBenches/SpeedupsVsSeed (present
+// when scripts/bench.sh was given a -seed ref) compares the fused build
+// against the repo's own `go test -bench` numbers at the pre-PR commit,
+// run on the same machine.
+type Report struct {
+	GOOS           string             `json:"goos"`
+	GOARCH         string             `json:"goarch"`
+	NumCPU         int                `json:"num_cpu"`
+	Benches        []Bench            `json:"benchmarks"`
+	Speedups       map[string]float64 `json:"speedups_fused_over_baseline"`
+	SeedBenches    []Bench            `json:"seed_benchmarks,omitempty"`
+	SpeedupsVsSeed map[string]float64 `json:"speedups_fused_over_seed,omitempty"`
+}
+
+// seedNames maps the pre-PR repo benchmark names (as printed by `go test
+// -bench` at the seed commit) to this tool's workload names.
+var seedNames = map[string]string{
+	"BenchmarkFig5aLatency/vmmcESP/64B":     "Fig5aLatency/64B",
+	"BenchmarkFig5aLatency/vmmcESP/4096B":   "Fig5aLatency/4096B",
+	"BenchmarkFig5bBandwidth/vmmcESP/1024B": "Fig5bBandwidth/1024B",
+	"BenchmarkVerifyMemSafety":              "VerifyMemSafety",
+	"BenchmarkVerifyFirmwareModel":          "VerifyFirmwareModel",
+}
+
+// parseSeedBench reads `go test -bench` output from the seed commit and
+// returns the runs it recognizes, renamed to this tool's workload names.
+func parseSeedBench(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bench
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		name, ok := seedNames[strings.TrimRight(f[0], "-0123456789")]
+		if !ok {
+			continue
+		}
+		b := Bench{Name: name, Engine: "seed", Metrics: map[string]float64{}}
+		fmt.Sscanf(f[1], "%d", &b.Iterations)
+		fmt.Sscanf(f[2], "%f", &b.NsPerOp)
+		for i := 4; i+1 < len(f); i += 2 {
+			var v float64
+			if _, err := fmt.Sscanf(f[i], "%f", &v); err == nil {
+				b.Metrics[f[i+1]] = v
+			}
+		}
+		if states, ok := b.Metrics["states"]; ok && b.NsPerOp > 0 {
+			b.Metrics["states/sec"] = states / (b.NsPerOp / 1e9)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// workload is one benchmark body, parameterized by engine (vmmc.Engine
+// is set by the caller before the run; vo carries it to the verifier).
+type workload struct {
+	name string
+	run  func(b *testing.B, engine esplang.Engine, vo esplang.VerifyOptions)
+}
+
+// vmSrc is the exec-bound workload: a rendezvous loop with arithmetic
+// between communications, so the instruction-dispatch cost the fused
+// engine removes dominates instead of the NIC simulation.
+const vmSrc = `
+channel c: int
+channel done: int external reader
+process producer {
+    $n = 0;
+    $acc = 1;
+    while (n < 400) {
+        acc = (acc * 3) % 9973;
+        acc = acc + n;
+        out( c, acc);
+        n = n + 1;
+    }
+}
+process consumer {
+    $n = 0;
+    $sum = 0;
+    while (n < 400) {
+        in( c, $v);
+        sum = sum + v;
+        n = n + 1;
+    }
+    out( done, sum);
+}
+`
+
+var vmProg *esplang.Program
+
+func vmProgram(b *testing.B) *esplang.Program {
+	if vmProg == nil {
+		p, err := esplang.Compile(vmSrc, esplang.CompileOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vmProg = p
+	}
+	return vmProg
+}
+
+var workloads = []workload{
+	{"VMThroughput", func(b *testing.B, engine esplang.Engine, _ esplang.VerifyOptions) {
+		prog := vmProgram(b)
+		for i := 0; i < b.N; i++ {
+			m := prog.Machine(esplang.MachineConfig{Engine: engine})
+			if err := m.BindReader("done", &esplang.CollectReader{}); err != nil {
+				b.Fatal(err)
+			}
+			m.Run()
+			if f := m.Fault(); f != nil {
+				b.Fatal(f)
+			}
+		}
+	}},
+	{"Fig5aLatency/64B", func(b *testing.B, _ esplang.Engine, _ esplang.VerifyOptions) {
+		cfg := nic.DefaultConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			v, err := vmmc.PingPong(vmmc.ESP, cfg, 64, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = v
+		}
+		b.ReportMetric(last/1000, "us-latency")
+	}},
+	{"Fig5aLatency/4096B", func(b *testing.B, _ esplang.Engine, _ esplang.VerifyOptions) {
+		cfg := nic.DefaultConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			v, err := vmmc.PingPong(vmmc.ESP, cfg, 4096, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = v
+		}
+		b.ReportMetric(last/1000, "us-latency")
+	}},
+	{"Fig5bBandwidth/1024B", func(b *testing.B, _ esplang.Engine, _ esplang.VerifyOptions) {
+		cfg := nic.DefaultConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			v, err := vmmc.OneWay(vmmc.ESP, cfg, 1024, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = v
+		}
+		b.ReportMetric(last, "MB/s")
+	}},
+	{"Fig5cBidirectional/1024B", func(b *testing.B, _ esplang.Engine, _ esplang.VerifyOptions) {
+		cfg := nic.DefaultConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			v, err := vmmc.Bidirectional(vmmc.ESP, cfg, 1024, 15)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = v
+		}
+		b.ReportMetric(last, "MB/s-total")
+	}},
+	{"VerifyMemSafety", func(b *testing.B, _ esplang.Engine, vo esplang.VerifyOptions) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			res, err := vmmc.VerifyMemSafety(vmmc.BugNone, vo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation != nil {
+				b.Fatalf("violation: %v", res.Violation)
+			}
+			states = res.States
+		}
+		b.ReportMetric(float64(states), "states")
+	}},
+	{"VerifyFirmwareModel", func(b *testing.B, _ esplang.Engine, vo esplang.VerifyOptions) {
+		cfg := nic.DefaultConfig()
+		var states int
+		for i := 0; i < b.N; i++ {
+			res, err := vmmc.VerifyFirmware(cfg, 2, vo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation != nil {
+				b.Fatalf("violation: %v", res.Violation)
+			}
+			states = res.States
+		}
+		b.ReportMetric(float64(states), "states")
+	}},
+}
+
+// record runs one workload under one engine `repeat` times and keeps the
+// fastest run: best-of-N is the standard defense against scheduler and
+// frequency noise on shared machines, and both engines get the same
+// treatment so the ratio stays fair.
+func record(name string, engine esplang.Engine, repeat int) Bench {
+	vmmc.Engine = engine
+	vo := esplang.VerifyOptions{Engine: engine}
+	var wl workload
+	for _, w := range workloads {
+		if w.name == name {
+			wl = w
+		}
+	}
+	var r testing.BenchmarkResult
+	for i := 0; i < repeat; i++ {
+		runtime.GC()
+		got := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			wl.run(b, engine, vo)
+		})
+		if i == 0 || got.NsPerOp() < r.NsPerOp() {
+			r = got
+		}
+	}
+	rec := Bench{
+		Name:        name,
+		Engine:      engine.String(),
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Metrics:     map[string]float64{},
+	}
+	for k, v := range r.Extra {
+		if k == "allocs/op" || k == "B/op" {
+			continue
+		}
+		rec.Metrics[k] = v
+	}
+	if states, ok := rec.Metrics["states"]; ok && rec.NsPerOp > 0 {
+		rec.Metrics["states/sec"] = states / (rec.NsPerOp / 1e9)
+	}
+	return rec
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	repeat := flag.Int("repeat", 5, "runs per benchmark; the fastest is recorded")
+	seedBench := flag.String("seed-bench", "", "optional `go test -bench` output from the pre-PR commit to compare against")
+	flag.Parse()
+
+	rep := Report{
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+		Speedups: map[string]float64{},
+	}
+	byKey := map[string]Bench{}
+	for _, wl := range workloads {
+		for _, engine := range []esplang.Engine{esplang.EngineBaseline, esplang.EngineFused} {
+			rec := record(wl.name, engine, *repeat)
+			rep.Benches = append(rep.Benches, rec)
+			byKey[rec.Name+"/"+rec.Engine] = rec
+			fmt.Printf("%-28s %-9s %12.0f ns/op %8d allocs/op", rec.Name, rec.Engine, rec.NsPerOp, rec.AllocsPerOp)
+			for k, v := range rec.Metrics {
+				fmt.Printf("  %s=%.1f", k, v)
+			}
+			fmt.Println()
+		}
+	}
+	for _, wl := range workloads {
+		base, fused := byKey[wl.name+"/baseline"], byKey[wl.name+"/fused"]
+		if base.NsPerOp > 0 && fused.NsPerOp > 0 {
+			rep.Speedups[wl.name] = base.NsPerOp / fused.NsPerOp
+		}
+		if bs, fs := base.Metrics["states/sec"], fused.Metrics["states/sec"]; bs > 0 {
+			rep.Speedups[wl.name+"/states-per-sec"] = fs / bs
+		}
+	}
+	if *seedBench != "" {
+		seeds, err := parseSeedBench(*seedBench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrec: seed bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.SeedBenches = seeds
+		rep.SpeedupsVsSeed = map[string]float64{}
+		for _, s := range seeds {
+			fused, ok := byKey[s.Name+"/fused"]
+			if !ok || s.NsPerOp <= 0 || fused.NsPerOp <= 0 {
+				continue
+			}
+			rep.SpeedupsVsSeed[s.Name] = s.NsPerOp / fused.NsPerOp
+			if ss, fs := s.Metrics["states/sec"], fused.Metrics["states/sec"]; ss > 0 {
+				rep.SpeedupsVsSeed[s.Name+"/states-per-sec"] = fs / ss
+			}
+		}
+		for k, v := range rep.SpeedupsVsSeed {
+			fmt.Printf("speedup-vs-seed %-32s %.2fx\n", k, v)
+		}
+	}
+	for k, v := range rep.Speedups {
+		fmt.Printf("speedup %-40s %.2fx\n", k, v)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrec: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrec: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

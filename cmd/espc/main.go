@@ -45,6 +45,7 @@ func main() {
 		mcRun     = flag.Bool("mc", false, "model-check the program with the bundled checker (the program must be closed); a violation exits nonzero")
 		mcWorkers = flag.Int("mc-workers", 0, "model checker: parallel search workers (0 = all cores; 1 = deterministic)")
 		mcProg    = flag.Bool("mc-progress", false, "model checker: print periodic search progress to stderr")
+		engineN   = flag.String("engine", "fused", "model checker: VM engine driving the search, fused or baseline")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -110,7 +111,12 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 	if *mcRun {
-		vo := esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true}
+		engine, err := esplang.ParseEngine(*engineN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espc: %v\n", err)
+			os.Exit(2)
+		}
+		vo := esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true, Engine: engine}
 		if *mcProg {
 			vo.Progress = func(info esplang.ProgressInfo) { fmt.Fprintln(os.Stderr, info) }
 		}

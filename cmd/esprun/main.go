@@ -31,6 +31,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing; timestamps are VM cycles)")
 		profile    = flag.Bool("profile", false, "print the hot-line cycle profile and per-event breakdown at exit")
 		profileTop = flag.Int("profile-top", 10, "lines shown by -profile")
+		engineName = flag.String("engine", "fused", "execution engine: fused (superinstructions) or baseline; identical semantics and cycle accounting")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -38,12 +39,17 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	engine, err := esplang.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
+		os.Exit(2)
+	}
 	prog, err := esplang.CompileFile(flag.Arg(0), esplang.CompileOptions{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
 		os.Exit(1)
 	}
-	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: *maxObjects})
+	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: *maxObjects, Engine: engine})
 
 	var tr *obs.ChromeTracer
 	if *tracePath != "" {

@@ -35,11 +35,17 @@ func main() {
 		progress  = flag.Bool("progress", false, "print periodic search progress to stderr (states, frontier, states/s, memory)")
 		progressI = flag.Duration("progress-interval", 2*time.Second, "interval between -progress samples")
 		metricsF  = flag.String("metrics", "", "write a JSON metrics snapshot of the search to this file at exit")
+		engineN   = flag.String("engine", "fused", "VM engine driving the search: fused or baseline (verdicts and state counts are identical)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: espverify [flags] program.esp")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	engine, err := esplang.ParseEngine(*engineN)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "espverify: %v\n", err)
 		os.Exit(2)
 	}
 	prog, err := esplang.CompileFile(flag.Arg(0), esplang.CompileOptions{})
@@ -58,6 +64,7 @@ func main() {
 		MaxLiveObjects:  *maxLive,
 		EndRecvOK:       *endRecv,
 		NoDeadlockCheck: *noDead,
+		Engine:          engine,
 	}
 	if *progress {
 		opts.Progress = func(info esplang.ProgressInfo) {

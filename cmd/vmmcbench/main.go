@@ -27,6 +27,9 @@ var flavors = []vmmc.Flavor{vmmc.ESP, vmmc.Orig, vmmc.OrigNoFastPaths}
 // verification runs hand to the model checker.
 var mcWorkers int
 
+// mcEngine is the -engine flag: the VM engine the verification runs use.
+var mcEngine esplang.Engine
+
 func main() {
 	var (
 		fig   = flag.String("fig", "", "figure to regenerate: 5a, 5b, 5c")
@@ -38,9 +41,17 @@ func main() {
 		trace = flag.String("trace", "", "run one traced ESP ping-pong and write its Chrome trace-event JSON here (open in Perfetto)")
 		prof  = flag.Bool("profile", false, "run one traced ESP ping-pong and print the firmware's hot-line cycle profile")
 		tsize = flag.Int("trace-size", 1024, "message size for -trace/-profile")
+		engN  = flag.String("engine", "fused", "VM engine for firmware runs and verification: fused or baseline (figures and verdicts are engine-independent)")
 	)
 	flag.Parse()
 	mcWorkers = *mcW
+	engine, err := esplang.ParseEngine(*engN)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmmcbench: %v\n", err)
+		os.Exit(2)
+	}
+	vmmc.Engine = engine
+	mcEngine = engine
 
 	if *trace != "" || *prof {
 		traceRun(*trace, *prof, *tsize, *round)
@@ -196,7 +207,7 @@ func tableLoc() {
 func tableVerify() {
 	fmt.Println("Table: verification statistics (§5.3)")
 	cfg := nic.DefaultConfig()
-	vo := esplang.VerifyOptions{Workers: mcWorkers}
+	vo := esplang.VerifyOptions{Workers: mcWorkers, Engine: mcEngine}
 
 	res, err := vmmc.VerifyFirmware(cfg, 2, vo)
 	die(err)

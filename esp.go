@@ -60,6 +60,11 @@ type (
 	CollectReader = vm.CollectReader
 	// Snapshot is a Go-native copy of a machine value.
 	Snapshot = vm.Snapshot
+	// Engine selects the VM's interpreter loop (MachineConfig.Engine,
+	// VerifyOptions.Engine): the fused hot-path engine (default) or the
+	// baseline one-instruction-at-a-time loop, kept as a differential-
+	// testing oracle. Both charge the identical cycle cost model.
+	Engine = vm.Engine
 
 	// VerifyOptions configures model checking (see internal/mc).
 	VerifyOptions = mc.Options
@@ -92,6 +97,16 @@ const (
 	BitState   = mc.BitState
 	Simulation = mc.Simulation
 )
+
+// Execution engines (re-exported).
+const (
+	EngineFused    = vm.EngineFused
+	EngineBaseline = vm.EngineBaseline
+)
+
+// ParseEngine parses an engine name ("baseline" or "fused"), for CLI
+// -engine flags.
+var ParseEngine = vm.ParseEngine
 
 // Value constructors (re-exported).
 var (

@@ -256,6 +256,11 @@ type Program struct {
 	// memory). Faults, model-checker traces, and the C and Promela
 	// backends use it to report file:line locations.
 	File string
+	// Fused caches the fused-engine translation of every process (see
+	// fused.go). The optimizer driver populates it after its final
+	// rewrite; nil means not (or no longer) translated, and vm.New then
+	// fuses locally without touching the program.
+	Fused []*FusedProc
 }
 
 // ChannelByName returns the named channel or nil.

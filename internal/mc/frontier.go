@@ -12,12 +12,23 @@ import (
 
 // Parallel frontier search — the engine behind Exhaustive and BitState
 // modes. A pool of Options.Workers goroutines expands a shared FIFO of
-// unexpanded states. Each discovered state costs one machine clone while
-// it sits on the frontier and one visited-set key forever; counterexamples
-// are kept as compact parent chains (one CommChoice and one pointer per
-// state) and materialized by replaying the choices from the initial
-// machine, so memory is O(frontier + visited keys) rather than the old
-// depth-first search's O(depth × machine size) stack of retained clones.
+// unexpanded states.
+//
+// Under the fused engine (the default hot path) each worker owns one
+// machine for the whole search and replays frontier states into it with
+// vm.RestoreState; a discovered state costs one compact vm.SavedState
+// (recycled through a pool once expanded) while it sits on the frontier
+// and one visited-set key forever, and the per-transition cost no longer
+// includes allocating and deep-copying a full machine clone. Under the
+// baseline engine the search keeps the original Clone-per-transition
+// expansion — that path is preserved, unmodified, as the differential
+// oracle: both must report identical verdicts and state counts, which the
+// engine-differential tests check.
+//
+// In both modes counterexamples are kept as compact parent chains (one
+// CommChoice and one pointer per state) and materialized by replaying the
+// choices from the initial machine, so memory is O(frontier + visited
+// keys).
 //
 // With Workers: 1 the search is a deterministic breadth-first traversal:
 // states are expanded in FIFO order and successors generated in
@@ -50,10 +61,14 @@ func (p *pathNode) choices() []vm.CommChoice {
 	return out
 }
 
-// node is one frontier entry: a quiescent machine, its enabled
+// node is one frontier entry: a quiescent state, its enabled
 // communications (computed once, at discovery), the parent chain that
-// reached it, and its depth in transitions from the initial state.
+// reached it, and its depth in transitions from the initial state. The
+// state is held either as a compact snapshot (snap, the fused-engine hot
+// path) or as a full machine clone (m, the baseline-engine oracle path);
+// exactly one of the two is set.
 type node struct {
+	snap  *vm.SavedState
 	m     *vm.Machine
 	comms []vm.CommChoice
 	path  *pathNode
@@ -147,8 +162,18 @@ type foundViolation struct {
 // search is the shared state of one frontier search.
 type search struct {
 	opts    Options
+	prog    *ir.Program
 	visited shardedSet
 	front   frontier
+
+	// oracle selects the baseline-engine Clone-per-transition expansion
+	// instead of the SavedState hot path.
+	oracle bool
+
+	// snapPool recycles SavedStates of fully expanded nodes: in steady
+	// state a new frontier entry reuses the arenas of a retired one, so
+	// state discovery stops allocating.
+	snapPool sync.Pool
 
 	states      atomic.Int64
 	transitions atomic.Int64
@@ -187,10 +212,15 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 		return
 	}
 
-	s := &search{opts: opts, visited: visited}
+	s := &search{opts: opts, prog: prog, visited: visited,
+		oracle: opts.Engine == vm.EngineBaseline}
 	s.front.cond.L = &s.front.mu
 	s.states.Store(1)
-	s.front.push(&node{m: m0, comms: comms0})
+	if s.oracle {
+		s.front.push(&node{m: m0, comms: comms0})
+	} else {
+		s.front.push(&node{snap: m0.Save(nil), comms: comms0})
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Workers; i++ {
@@ -297,19 +327,33 @@ func (s *search) progressLoop(start time.Time, done chan struct{}) {
 }
 
 func (s *search) worker() {
+	// On the hot path each worker owns one machine for the whole search
+	// and replays frontier snapshots into it — no per-transition machine
+	// allocation. The oracle path clones instead and needs no worker
+	// machine.
+	var m *vm.Machine
+	if !s.oracle {
+		m = newMachine(s.prog, s.opts)
+	}
 	for {
 		n := s.front.pop()
 		if n == nil {
 			return
 		}
-		s.expand(n)
+		if s.oracle {
+			s.expandClone(n)
+		} else {
+			s.expand(m, n)
+		}
 		s.front.done()
 	}
 }
 
-// expand fires every enabled communication of n, recording newly
-// discovered states and enqueueing them for expansion.
-func (s *search) expand(n *node) {
+// expandClone is the baseline-engine oracle expansion: one full machine
+// clone per transition, exactly as the search worked before the
+// SavedState hot path existed. It must stay behaviorally identical to
+// expand — the differential tests compare the two.
+func (s *search) expandClone(n *node) {
 	for _, c := range n.comms {
 		if s.stop.Load() {
 			return
@@ -319,9 +363,6 @@ func (s *search) expand(n *node) {
 		s.transitions.Add(1)
 
 		if f := m2.Fault(); f != nil {
-			// The faulting transition was encountered even though its target
-			// state is never admitted — count it toward MaxDepth so the
-			// reported depth matches simulation mode on the same path.
 			s.observeDepth(n.depth + 1)
 			s.violate(n.path, c, f, false)
 			return
@@ -329,10 +370,6 @@ func (s *search) expand(n *node) {
 		if !s.visited.TryAdd(m2.EncodeState()) {
 			continue
 		}
-		// Reserve a slot under the state bound before counting the state;
-		// the instant the bound is reached the whole search shuts down —
-		// it does not keep firing transitions into states it will never
-		// record.
 		if got := s.states.Add(1); got > int64(s.opts.MaxStates) {
 			s.states.Add(-1)
 			s.truncated.Store(true)
@@ -362,6 +399,69 @@ func (s *search) expand(n *node) {
 		})
 	}
 	n.m = nil // the expanded machine is no longer needed
+}
+
+// expand fires every enabled communication of n on the worker's machine,
+// recording newly discovered states and enqueueing them for expansion.
+func (s *search) expand(m *vm.Machine, n *node) {
+	for _, c := range n.comms {
+		if s.stop.Load() {
+			return
+		}
+		m.RestoreState(n.snap)
+		m.FireComm(c)
+		s.transitions.Add(1)
+
+		if f := m.Fault(); f != nil {
+			// The faulting transition was encountered even though its target
+			// state is never admitted — count it toward MaxDepth so the
+			// reported depth matches simulation mode on the same path.
+			s.observeDepth(n.depth + 1)
+			s.violate(n.path, c, f, false)
+			return
+		}
+		if !s.visited.TryAdd(m.EncodeState()) {
+			continue
+		}
+		// Reserve a slot under the state bound before counting the state;
+		// the instant the bound is reached the whole search shuts down —
+		// it does not keep firing transitions into states it will never
+		// record.
+		if got := s.states.Add(1); got > int64(s.opts.MaxStates) {
+			s.states.Add(-1)
+			s.truncated.Store(true)
+			s.shutdown()
+			return
+		}
+		d := n.depth + 1
+		s.observeDepth(d)
+
+		comms := m.EnabledComms()
+		if len(comms) == 0 {
+			if stuck(m, s.opts) {
+				s.violate(n.path, c, nil, true)
+				return
+			}
+			continue
+		}
+		if d >= s.opts.MaxDepth {
+			s.truncated.Store(true)
+			continue
+		}
+		// Only admitted states pay for a snapshot (TryAdd ran first).
+		snap, _ := s.snapPool.Get().(*vm.SavedState)
+		s.front.push(&node{
+			snap:  m.Save(snap),
+			comms: comms,
+			path:  &pathNode{choice: c, parent: n.path},
+			depth: d,
+		})
+	}
+	// Every communication was fired from n.snap; recycle its arenas. (The
+	// early returns above skip this — a shutting-down search doesn't need
+	// the pool, and the GC reclaims those snapshots.)
+	s.snapPool.Put(n.snap)
+	n.snap = nil
 }
 
 // violate records the violation (first writer wins) and shuts the search

@@ -92,6 +92,11 @@ type Options struct {
 	EndRecvOK bool
 	// StepBudget bounds deterministic execution between blocking points.
 	StepBudget int64
+	// Engine selects the VM interpreter the search executes with (zero
+	// value: the fused engine). Verdicts, state counts, and traces are
+	// engine-independent; the baseline engine exists for differential
+	// testing.
+	Engine vm.Engine
 	// Progress, when non-nil, is called every ProgressInterval with a
 	// snapshot of the search counters (from a dedicated sampler
 	// goroutine), and once more with Final set just before Check returns.
@@ -265,6 +270,7 @@ func newMachine(prog *ir.Program, opts Options) *vm.Machine {
 		Manual:         true,
 		MaxLiveObjects: opts.MaxLiveObjects,
 		StepBudget:     opts.StepBudget,
+		Engine:         opts.Engine,
 	})
 	m.Cost = vm.ZeroCostModel()
 	return m

@@ -45,54 +45,58 @@ func CheckProgress(prog *ir.Program, progressChannels []string, opts Options) *R
 		progress bool
 		desc     string
 	}
+	// States are kept as compact snapshots and replayed into one scratch
+	// machine, so graph construction doesn't retain a full machine clone
+	// per state.
 	var (
-		states []*vm.Machine
-		idOf   = map[string]int{}
-		edges  [][]edge
+		snaps []*vm.SavedState
+		idOf  = map[string]int{}
+		edges [][]edge
 	)
 
-	m0 := newMachine(prog, opts)
-	m0.Settle()
-	if f := m0.Fault(); f != nil {
+	m := newMachine(prog, opts)
+	m.Settle()
+	if f := m.Fault(); f != nil {
 		res.Violation = &Violation{Fault: f}
 		return res
 	}
-	idOf[m0.EncodeState()] = 0
-	states = append(states, m0)
+	idOf[m.EncodeState()] = 0
+	snaps = append(snaps, m.Save(nil))
 	edges = append(edges, nil)
 
-	for i := 0; i < len(states) && len(states) < opts.MaxStates; i++ {
-		m := states[i]
+	for i := 0; i < len(snaps) && len(snaps) < opts.MaxStates; i++ {
+		m.RestoreState(snaps[i])
 		for _, c := range m.EnabledComms() {
-			m2 := m.Clone()
-			m2.FireComm(c)
+			m.RestoreState(snaps[i]) // each firing starts from state i
+			desc := newStep(m, prog, c).Desc
+			m.FireComm(c)
 			res.Transitions++
-			if f := m2.Fault(); f != nil {
+			if f := m.Fault(); f != nil {
 				res.Violation = &Violation{Fault: f}
-				res.States = len(states)
+				res.States = len(snaps)
 				return res
 			}
-			key := m2.EncodeState()
+			key := m.EncodeState()
 			j, ok := idOf[key]
 			if !ok {
-				j = len(states)
+				j = len(snaps)
 				idOf[key] = j
-				states = append(states, m2)
+				snaps = append(snaps, m.Save(nil))
 				edges = append(edges, nil)
 			}
-			edges[i] = append(edges[i], edge{to: j, progress: progressChan[c.Chan], desc: newStep(m, prog, c).Desc})
+			edges[i] = append(edges[i], edge{to: j, progress: progressChan[c.Chan], desc: desc})
 		}
 	}
-	res.States = len(states)
-	if len(states) >= opts.MaxStates {
+	res.States = len(snaps)
+	if len(snaps) >= opts.MaxStates {
 		res.Truncated = true
 	}
 
 	// Phase 2: a cycle using only non-progress edges. Iterative DFS with
 	// colors: 0 unvisited, 1 on stack, 2 done.
-	color := make([]uint8, len(states))
-	parent := make([]int, len(states))
-	parentEdge := make([]string, len(states))
+	color := make([]uint8, len(snaps))
+	parent := make([]int, len(snaps))
+	parentEdge := make([]string, len(snaps))
 	for i := range parent {
 		parent[i] = -1
 	}
@@ -102,7 +106,7 @@ func CheckProgress(prog *ir.Program, progressChannels []string, opts Options) *R
 
 	var stack []int
 	push := func(s int) { color[s] = 1; stack = append(stack, s) }
-	for root := 0; root < len(states) && cycleAt < 0; root++ {
+	for root := 0; root < len(snaps) && cycleAt < 0; root++ {
 		if color[root] != 0 {
 			continue
 		}

@@ -35,6 +35,13 @@ type Options struct {
 	CrossProc bool
 	// MaxRounds bounds the whole-program fixpoint iteration (0 = 8).
 	MaxRounds int
+	// Fuse translates the final code into the fused execution form
+	// (ir.FuseProgram) once the rewrites settle, caching it on
+	// Program.Fused so every machine created from the program shares one
+	// translation. Run always clears a stale translation first, so a
+	// pipeline without Fuse leaves Fused nil and vm.New fuses locally on
+	// demand.
+	Fuse bool
 	// Verify runs ir.Verify after every pass; Run aborts with an error
 	// naming the offending pass if a rewrite corrupts the program.
 	Verify bool
@@ -42,7 +49,7 @@ type Options struct {
 
 // All returns the full pipeline, including the cross-process analysis.
 func All() Options {
-	return Options{ConstFold: true, CopyProp: true, DCE: true, CastReuse: true, CrossProc: true}
+	return Options{ConstFold: true, CopyProp: true, DCE: true, CastReuse: true, CrossProc: true, Fuse: true}
 }
 
 // Optimize rewrites every process of the program in place and returns

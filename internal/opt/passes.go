@@ -114,6 +114,8 @@ func pipeline(opts Options) (progPasses []ProgramPass, local []Pass) {
 // Run aborts with a descriptive error naming the offending pass the
 // moment a rewrite corrupts the program.
 func Run(prog *ir.Program, opts Options) (*Stats, error) {
+	// Any rewrite invalidates a cached fused translation.
+	prog.Fused = nil
 	rounds := opts.MaxRounds
 	if rounds == 0 {
 		rounds = 8
@@ -180,6 +182,9 @@ func Run(prog *ir.Program, opts Options) (*Stats, error) {
 		}
 	}
 	stats.InstrsAfter = countInstrs(prog)
+	if opts.Fuse {
+		prog.Fused = ir.FuseProgram(prog)
+	}
 	return stats, nil
 }
 
@@ -202,5 +207,9 @@ func runExtra(prog *ir.Program, opts Options, extra ...Pass) (*Stats, error) {
 		}
 	}
 	stats.InstrsAfter = countInstrs(prog)
+	if opts.Fuse {
+		// The extras may have rewritten code after Run's translation.
+		prog.Fused = ir.FuseProgram(prog)
+	}
 	return stats, nil
 }

@@ -203,6 +203,7 @@ func (m *Machine) Clone() *Machine {
 		Prog:         m.Prog,
 		Cost:         m.Cost,
 		Config:       m.Config,
+		fused:        m.fused, // immutable, shared
 		extW:         m.extW,
 		extR:         m.extR,
 		sendQ:        map[int][]int{},

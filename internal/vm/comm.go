@@ -647,8 +647,22 @@ func (m *Machine) Poll() bool {
 	return injected
 }
 
-func (m *Machine) extWIDs() []int { return sortedKeys(m.extW) }
-func (m *Machine) extRIDs() []int { return sortedKeys(m.extR) }
+// extWIDs/extRIDs return the sorted external-channel ID lists. They are
+// cached on the machine (invalidated by BindWriter/BindReader) so the
+// idle-loop Poll does not allocate and sort on every call.
+func (m *Machine) extWIDs() []int {
+	if m.extWIDsC == nil {
+		m.extWIDsC = sortedKeys(m.extW)
+	}
+	return m.extWIDsC
+}
+
+func (m *Machine) extRIDs() []int {
+	if m.extRIDsC == nil {
+		m.extRIDsC = sortedKeys(m.extR)
+	}
+	return m.extRIDsC
+}
 
 func sortedKeys[V any](mp map[int]V) []int {
 	ids := make([]int, 0, len(mp))

@@ -10,8 +10,16 @@ import (
 // deterministic traversal from the process roots, so object identities
 // assigned at different allocation times do not distinguish states —
 // the objectId canonicalization of §5.2.
+//
+// The traversal marks objects with the machine's generation counter
+// (instead of building a map per call) and reuses the machine's encode
+// buffer, so a call allocates only the returned string. As a consequence
+// EncodeState is not safe for concurrent use on one machine — which was
+// already true of every execution entry point; the model checker's
+// workers each own their machine.
 func (m *Machine) EncodeState() string {
-	e := &stateEncoder{ids: make(map[*Object]int)}
+	m.markGen++
+	e := stateEncoder{buf: m.encBuf[:0], gen: m.markGen}
 	// The live-object count is part of the state: leaked objects are
 	// unreachable from the roots but still occupy objectIds, and it is
 	// exactly their accumulation that the verifier's fixed-size table
@@ -40,12 +48,15 @@ func (m *Machine) EncodeState() string {
 	// Emit visited objects' contents after the roots (ids are stable by
 	// first-visit order, so a second pass is unnecessary: contents were
 	// emitted inline at first visit).
-	return string(e.buf)
+	s := string(e.buf) // copies, so the buffer is free to reuse
+	m.encBuf = e.buf
+	return s
 }
 
 type stateEncoder struct {
 	buf []byte
-	ids map[*Object]int
+	gen int64
+	n   int32 // next first-visit object index
 }
 
 func (e *stateEncoder) u8(v uint8) { e.buf = append(e.buf, v) }
@@ -68,24 +79,26 @@ func (e *stateEncoder) value(v Value) {
 		e.u8(1)
 		return
 	}
-	if id, ok := e.ids[v.Ref]; ok {
+	o := v.Ref
+	if o.mark == e.gen {
 		e.u8(2)
-		e.uv(uint64(id))
+		e.uv(uint64(o.markIdx))
 		return
 	}
-	id := len(e.ids)
-	e.ids[v.Ref] = id
+	o.mark = e.gen
+	o.markIdx = e.n
+	e.n++
 	e.u8(3)
-	e.uv(uint64(v.Ref.Type.ID()))
+	e.uv(uint64(o.Type.ID()))
 	flags := uint8(0)
-	if v.Ref.Freed {
+	if o.Freed {
 		flags = 1
 	}
 	e.u8(flags)
-	e.iv(int64(v.Ref.RC))
-	e.uv(uint64(v.Ref.Tag))
-	e.uv(uint64(len(v.Ref.Elems)))
-	for _, el := range v.Ref.Elems {
+	e.iv(int64(o.RC))
+	e.uv(uint64(o.Tag))
+	e.uv(uint64(len(o.Elems)))
+	for _, el := range o.Elems {
 		e.value(el)
 	}
 }

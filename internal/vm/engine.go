@@ -1,0 +1,37 @@
+package vm
+
+import "fmt"
+
+// Engine selects the interpreter implementation. The fused engine is the
+// default (the zero value): it runs the load-time translation of
+// ir.FuseProgram and is observably identical to the baseline — same
+// Stats, same cycle meter, same faults, same trace events — just faster.
+// The baseline engine remains as the differential-testing oracle.
+type Engine uint8
+
+// Engines.
+const (
+	EngineFused Engine = iota
+	EngineBaseline
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineFused:
+		return "fused"
+	case EngineBaseline:
+		return "baseline"
+	}
+	return "engine?"
+}
+
+// ParseEngine parses the -engine flag syntax.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "fused":
+		return EngineFused, nil
+	case "baseline":
+		return EngineBaseline, nil
+	}
+	return EngineFused, fmt.Errorf("unknown engine %q (want baseline or fused)", s)
+}

@@ -7,35 +7,55 @@ import (
 	"esplang/internal/obs"
 )
 
-// exec runs process p until it blocks, halts, or faults. It implements
-// the non-preemptive execution discipline of §6.1: between blocking
-// points a process runs uninterrupted.
+// push/pop are the interpreter's stack primitives. They are methods (not
+// per-exec closures) so a scheduling quantum allocates nothing: the old
+// closure trio (push/pop/checkObj) cost three heap allocations every time
+// a process was resumed, which dominated short quanta.
+func (p *ProcInst) push(v Value) { p.Stack = append(p.Stack, v) }
+
+func (p *ProcInst) pop() Value {
+	n := len(p.Stack) - 1
+	v := p.Stack[n]
+	p.Stack = p.Stack[:n]
+	return v
+}
+
+// checkObj verifies the object is live before access: the memory safety
+// property the verifier checks exhaustively (§5.2).
+func (m *Machine) checkObj(v Value, p *ProcInst) *Object {
+	if !v.IsRef || v.Ref == nil {
+		m.setFault(&Fault{Kind: FaultInternal, Msg: "scalar where reference expected"}, p)
+		return nil
+	}
+	if v.Ref.Freed {
+		m.setFault(&Fault{Kind: FaultUseAfterFree,
+			Msg: fmt.Sprintf("access to freed object %s", v.Ref)}, p)
+		return nil
+	}
+	return v.Ref
+}
+
+// exec runs process p until it blocks, halts, or faults, dispatching to
+// the engine the machine was configured with. The fused engine bows out
+// while a profiler is installed: per-line cycle attribution needs the
+// per-instruction charge points of the baseline loop, and profiled runs
+// are not on the hot path.
 func (m *Machine) exec(p *ProcInst) {
+	if m.fused != nil && m.prof == nil {
+		m.execFused(p)
+		return
+	}
+	m.execBase(p)
+}
+
+// execBase is the baseline interpreter and the differential-testing
+// oracle for the fused engine. It implements the non-preemptive execution
+// discipline of §6.1: between blocking points a process runs
+// uninterrupted.
+func (m *Machine) execBase(p *ProcInst) {
 	code := p.Def.Code
 	pc := p.PC
 	var steps int64
-
-	push := func(v Value) { p.Stack = append(p.Stack, v) }
-	pop := func() Value {
-		v := p.Stack[len(p.Stack)-1]
-		p.Stack = p.Stack[:len(p.Stack)-1]
-		return v
-	}
-
-	// checkObj verifies the object is live before access: the memory
-	// safety property the verifier checks exhaustively (§5.2).
-	checkObj := func(v Value) *Object {
-		if !v.IsRef || v.Ref == nil {
-			m.setFault(&Fault{Kind: FaultInternal, Msg: "scalar where reference expected"}, p)
-			return nil
-		}
-		if v.Ref.Freed {
-			m.setFault(&Fault{Kind: FaultUseAfterFree,
-				Msg: fmt.Sprintf("access to freed object %s", v.Ref)}, p)
-			return nil
-		}
-		return v.Ref
-	}
 
 	for m.flt == nil {
 		steps++
@@ -57,36 +77,36 @@ func (m *Machine) exec(p *ProcInst) {
 		case ir.Nop:
 			pc++
 		case ir.Const:
-			push(Value{Int: in.Val})
+			p.push(Value{Int: in.Val})
 			pc++
 		case ir.SelfID:
-			push(IntVal(int64(p.ID)))
+			p.push(IntVal(int64(p.ID)))
 			pc++
 		case ir.LoadLocal:
-			push(p.Locals[in.A])
+			p.push(p.Locals[in.A])
 			pc++
 		case ir.StoreLocal:
-			p.Locals[in.A] = pop()
+			p.Locals[in.A] = p.pop()
 			pc++
 		case ir.Dup:
-			push(p.Stack[len(p.Stack)-1])
+			p.push(p.Stack[len(p.Stack)-1])
 			pc++
 		case ir.Pop:
-			pop()
+			p.pop()
 			pc++
 
 		case ir.Neg:
-			v := pop()
-			push(IntVal(-v.Int))
+			v := p.pop()
+			p.push(IntVal(-v.Int))
 			pc++
 		case ir.Not:
-			v := pop()
-			push(BoolVal(v.Int == 0))
+			v := p.pop()
+			p.push(BoolVal(v.Int == 0))
 			pc++
 		case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod,
 			ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
-			y := pop()
-			x := pop()
+			y := p.pop()
+			x := p.pop()
 			var r Value
 			switch in.Op {
 			case ir.Add:
@@ -120,19 +140,19 @@ func (m *Machine) exec(p *ProcInst) {
 			case ir.Ge:
 				r = BoolVal(x.Int >= y.Int)
 			}
-			push(r)
+			p.push(r)
 			pc++
 
 		case ir.Jump:
 			pc = in.A
 		case ir.JumpIfFalse:
-			if pop().Int == 0 {
+			if p.pop().Int == 0 {
 				pc = in.A
 			} else {
 				pc++
 			}
 		case ir.JumpIfTrue:
-			if pop().Int != 0 {
+			if p.pop().Int != 0 {
 				pc = in.A
 			} else {
 				pc++
@@ -149,7 +169,7 @@ func (m *Machine) exec(p *ProcInst) {
 			m.Stats.Allocs++
 			m.traceAlloc(p.ID)
 			for i := in.B - 1; i >= 0; i-- {
-				v := pop()
+				v := p.pop()
 				o.Elems[i] = v
 				// Borrowed (non-fresh) reference children are linked; fresh
 				// temporaries are absorbed (their allocation ref moves into
@@ -163,11 +183,11 @@ func (m *Machine) exec(p *ProcInst) {
 					m.Stats.RefOps++
 				}
 			}
-			push(RefVal(o))
+			p.push(RefVal(o))
 			pc++
 		case ir.NewUnion:
 			t := m.Prog.Universe.ByID(in.A)
-			v := pop()
+			v := p.pop()
 			o := m.heap.Alloc(t, 1)
 			if o == nil {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)
@@ -186,12 +206,12 @@ func (m *Machine) exec(p *ProcInst) {
 				m.chargeEv(obs.KindRefOp, m.Cost.RefOp)
 				m.Stats.RefOps++
 			}
-			push(RefVal(o))
+			p.push(RefVal(o))
 			pc++
 		case ir.NewArray:
 			t := m.Prog.Universe.ByID(in.A)
-			init := pop()
-			count := pop()
+			init := p.pop()
+			count := p.pop()
 			if count.Int < 0 {
 				m.setFault(&Fault{Kind: FaultIndexOOB, Msg: fmt.Sprintf("array size %d is negative", count.Int)}, p)
 				return
@@ -207,19 +227,19 @@ func (m *Machine) exec(p *ProcInst) {
 			for i := range o.Elems {
 				o.Elems[i] = init
 			}
-			push(RefVal(o))
+			p.push(RefVal(o))
 			pc++
 
 		case ir.GetField:
-			o := checkObj(pop())
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
-			push(o.Elems[in.A])
+			p.push(o.Elems[in.A])
 			pc++
 		case ir.SetField:
-			v := pop()
-			o := checkObj(pop())
+			v := p.pop()
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
@@ -243,8 +263,8 @@ func (m *Machine) exec(p *ProcInst) {
 			}
 			pc++
 		case ir.GetIndex:
-			i := pop()
-			o := checkObj(pop())
+			i := p.pop()
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
@@ -253,12 +273,12 @@ func (m *Machine) exec(p *ProcInst) {
 					Msg: fmt.Sprintf("index %d out of bounds for array of %d", i.Int, len(o.Elems))}, p)
 				return
 			}
-			push(o.Elems[i.Int])
+			p.push(o.Elems[i.Int])
 			pc++
 		case ir.SetIndex:
-			v := pop()
-			i := pop()
-			o := checkObj(pop())
+			v := p.pop()
+			i := p.pop()
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
@@ -270,7 +290,7 @@ func (m *Machine) exec(p *ProcInst) {
 			o.Elems[i.Int] = v
 			pc++
 		case ir.UnionGet:
-			o := checkObj(pop())
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
@@ -279,11 +299,11 @@ func (m *Machine) exec(p *ProcInst) {
 					Msg: fmt.Sprintf("union has tag %d, pattern requires %d", o.Tag, in.A)}, p)
 				return
 			}
-			push(o.Elems[0])
+			p.push(o.Elems[0])
 			pc++
 
 		case ir.Link:
-			o := checkObj(pop())
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
@@ -295,7 +315,7 @@ func (m *Machine) exec(p *ProcInst) {
 			m.Stats.RefOps++
 			pc++
 		case ir.Unlink:
-			v := pop()
+			v := p.pop()
 			if !v.IsRef || v.Ref == nil {
 				m.setFault(&Fault{Kind: FaultInternal, Msg: "unlink of scalar"}, p)
 				return
@@ -308,7 +328,7 @@ func (m *Machine) exec(p *ProcInst) {
 			m.Stats.RefOps++
 			pc++
 		case ir.CastCopy:
-			o := checkObj(pop())
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
@@ -333,22 +353,22 @@ func (m *Machine) exec(p *ProcInst) {
 					m.Stats.RefOps++
 				}
 			}
-			push(RefVal(n))
+			p.push(RefVal(n))
 			pc++
 		case ir.CastReuse:
 			// Optimizer-inserted: the source object is dead afterwards, so
 			// it is retyped in place (§4.2: "the compiler can avoid
 			// creating a new object").
-			o := checkObj(pop())
+			o := m.checkObj(p.pop(), p)
 			if o == nil {
 				return
 			}
 			o.Type = m.Prog.Universe.ByID(in.A)
-			push(RefVal(o))
+			p.push(RefVal(o))
 			pc++
 
 		case ir.Assert:
-			v := pop()
+			v := p.pop()
 			if v.Int == 0 {
 				info := m.Prog.Asserts[in.A]
 				m.setFault(&Fault{Kind: FaultAssert,
@@ -363,7 +383,7 @@ func (m *Machine) exec(p *ProcInst) {
 			return
 
 		case ir.Send, ir.SendCommit:
-			v := pop()
+			v := p.pop()
 			p.Pending = v
 			p.PendingFlags = in.B
 			p.WaitChan = in.A

@@ -79,6 +79,8 @@ type Config struct {
 	// StepBudget bounds the instructions one process may execute between
 	// blocking points (runaway-loop guard). Zero means the default.
 	StepBudget int64
+	// Engine selects the interpreter (zero value: the fused engine).
+	Engine Engine
 }
 
 const defaultStepBudget = 50_000_000
@@ -95,6 +97,23 @@ type Machine struct {
 	heap  Heap
 	ready []int // LIFO stack of ready proc indices (stack-based policy, §6.1)
 	flt   *Fault
+
+	// fused is the fused-engine translation of the program, nil when the
+	// baseline engine was selected. It is immutable and shared by clones.
+	fused []*ir.FusedProc
+
+	// State-snapshot scratch (see savedstate.go and encode.go): a
+	// per-machine generation counter for object-graph marking, the
+	// encoder's reusable buffer, and the pool of objects RestoreState
+	// rebuilds the heap into. None of this is shared between machines.
+	markGen int64
+	encBuf  []byte
+	objPool []*Object
+
+	// Sorted external-channel ID lists, rebuilt lazily after every
+	// BindWriter/BindReader, so Poll does not sort on every call.
+	extWIDsC []int
+	extRIDsC []int
 
 	// commitTarget/commitArm pin the receiver (and its alt arm, or -1)
 	// the next SendCommit must deliver to; set by the model checker's
@@ -146,6 +165,15 @@ func New(prog *ir.Program, cfg Config) *Machine {
 		commitArm:    -1,
 	}
 	m.heap.MaxLive = cfg.MaxLiveObjects
+	if cfg.Engine == EngineFused {
+		m.fused = prog.Fused
+		if m.fused == nil {
+			// The program was not fused ahead of time (optimizer skipped or
+			// bypassed); translate locally without touching the shared
+			// program.
+			m.fused = ir.FuseProgram(prog)
+		}
+	}
 	for _, pd := range prog.Procs {
 		p := &ProcInst{
 			Def:    pd,
@@ -180,6 +208,7 @@ func (m *Machine) BindWriter(chanName string, w ExternalWriter) error {
 		return fmt.Errorf("vm: channel %q is not an external-writer channel", chanName)
 	}
 	m.extW[ch.ID] = w
+	m.extWIDsC = nil
 	return nil
 }
 
@@ -193,6 +222,7 @@ func (m *Machine) BindReader(chanName string, r ExternalReader) error {
 		return fmt.Errorf("vm: channel %q is not an external-reader channel", chanName)
 	}
 	m.extR[ch.ID] = r
+	m.extRIDsC = nil
 	return nil
 }
 

@@ -1,0 +1,259 @@
+package vm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"esplang/internal/vm"
+)
+
+// mcSrc is a small manual-mode workload with a heap graph flowing
+// through a rendezvous — the shape the model checker snapshots.
+const mcSrc = `
+type dataT = array of int
+type msgT = record of { tag: int, data: dataT }
+channel c: msgT
+process producer {
+    $n = 0;
+    while (n < 3) {
+        $d: dataT = { 2 -> n};
+        out( c, { n, d});
+        unlink( d);
+        n = n + 1;
+    }
+}
+process consumer {
+    $n = 0;
+    while (n < 3) {
+        in( c, { $tag, $data});
+        assert( data[0] >= 0);
+        unlink( data);
+        n = n + 1;
+    }
+}
+`
+
+func snapMachine(t *testing.T, src string) *vm.Machine {
+	t.Helper()
+	m := newMachine(t, src, vm.Config{Manual: true, MaxLiveObjects: 16})
+	m.Cost = vm.ZeroCostModel()
+	m.Settle()
+	if f := m.Fault(); f != nil {
+		t.Fatalf("settle fault: %v", f)
+	}
+	return m
+}
+
+// TestSavedStateRoundTrip: Save, mutate, RestoreState — the canonical
+// encoding must come back bit-identical, transition after transition.
+func TestSavedStateRoundTrip(t *testing.T) {
+	m := snapMachine(t, mcSrc)
+	var snap vm.SavedState
+	for depth := 0; depth < 10; depth++ {
+		comms := m.EnabledComms()
+		if len(comms) == 0 {
+			break
+		}
+		before := m.EncodeState()
+		m.Save(&snap)
+
+		m.FireComm(comms[0])
+		if f := m.Fault(); f != nil {
+			t.Fatalf("depth %d: fault: %v", depth, f)
+		}
+		after := m.EncodeState()
+		if after == before {
+			t.Fatalf("depth %d: transition did not change the encoded state", depth)
+		}
+
+		m.RestoreState(&snap)
+		if got := m.EncodeState(); got != before {
+			t.Fatalf("depth %d: restore does not round-trip:\nbefore %q\nafter  %q", depth, before, got)
+		}
+		// Advance for the next iteration.
+		m.FireComm(comms[0])
+	}
+}
+
+// TestSavedStateRestoreIntoSibling: a snapshot is self-contained, so
+// restoring it into a different machine of the same program reproduces
+// the state — the model checker's workers rely on exactly this.
+func TestSavedStateRestoreIntoSibling(t *testing.T) {
+	m1 := snapMachine(t, mcSrc)
+	for i := 0; i < 3; i++ {
+		comms := m1.EnabledComms()
+		if len(comms) == 0 {
+			break
+		}
+		m1.FireComm(comms[0])
+	}
+	snap := m1.Save(nil)
+	want := m1.EncodeState()
+
+	m2 := snapMachine(t, mcSrc)
+	m2.RestoreState(snap)
+	if got := m2.EncodeState(); got != want {
+		t.Fatalf("sibling restore diverges:\nwant %q\ngot  %q", want, got)
+	}
+	// The sibling must be able to continue executing from the restored
+	// state with identical behavior.
+	c1, c2 := m1.EnabledComms(), m2.EnabledComms()
+	if len(c1) != len(c2) {
+		t.Fatalf("enabled comms diverge: %d vs %d", len(c1), len(c2))
+	}
+	if len(c1) > 0 {
+		m1.FireComm(c1[0])
+		m2.FireComm(c2[0])
+		if m1.EncodeState() != m2.EncodeState() {
+			t.Fatal("post-restore transitions diverge")
+		}
+	}
+}
+
+// TestSavedStateMatchesClone: restoring a snapshot reproduces the same
+// semantic state as the (allocation-heavy) Clone it replaces.
+func TestSavedStateMatchesClone(t *testing.T) {
+	m := snapMachine(t, mcSrc)
+	for i := 0; i < 2; i++ {
+		if comms := m.EnabledComms(); len(comms) > 0 {
+			m.FireComm(comms[0])
+		}
+	}
+	clone := m.Clone()
+	snap := m.Save(nil)
+
+	m2 := snapMachine(t, mcSrc)
+	m2.RestoreState(snap)
+	if clone.EncodeState() != m2.EncodeState() {
+		t.Fatal("Clone and Save/RestoreState disagree on the semantic state")
+	}
+}
+
+// TestSavedStateSteadyStateAllocFree: once the snapshot arenas and the
+// restore pool have grown to the workload's size, Save into an existing
+// snapshot and RestoreState allocate nothing.
+func TestSavedStateSteadyStateAllocFree(t *testing.T) {
+	m := snapMachine(t, mcSrc)
+	var snap vm.SavedState
+	m.Save(&snap)
+	m.RestoreState(&snap) // warm the object pool
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Save(&snap)
+		m.RestoreState(&snap)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Save+RestoreState allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestSaveRejectsWaitQueueMode: wait queues are derivable state the
+// snapshot does not carry, so Save must refuse rather than silently
+// drop them.
+func TestSaveRejectsWaitQueueMode(t *testing.T) {
+	m := newMachine(t, mcSrc, vm.Config{Manual: true, UseWaitQueues: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Save in wait-queue mode did not panic")
+		}
+	}()
+	m.Save(nil)
+}
+
+// countSrc builds a scalar rendezvous loop: two processes meeting n
+// times. Execution of this program must not allocate per operation —
+// the guard for the interpreter's closure-free hot path.
+func countSrc(n int) string {
+	return fmt.Sprintf(`
+channel c: int
+channel doneC: int external reader
+process ping {
+    $i = 0;
+    while (i < %d) {
+        out( c, i);
+        i = i + 1;
+    }
+}
+process pong {
+    $i = 0;
+    while (i < %d) {
+        in( c, $v);
+        i = i + 1;
+    }
+    out( doneC, 1);
+}
+`, n, n)
+}
+
+// TestExecAllocsIndependentOfWorkload: the interpreter loops (both
+// engines) perform no per-instruction or per-context-switch heap
+// allocation: total Go allocations for a 10x longer scalar workload must
+// not grow with it.
+func TestExecAllocsIndependentOfWorkload(t *testing.T) {
+	for _, engine := range []vm.Engine{vm.EngineBaseline, vm.EngineFused} {
+		t.Run(engine.String(), func(t *testing.T) {
+			run := func(n int) float64 {
+				prog := compileSrc(t, countSrc(n))
+				return testing.AllocsPerRun(10, func() {
+					m := vm.New(prog, vm.Config{Engine: engine})
+					if err := m.BindReader("doneC", &vm.CollectReader{}); err != nil {
+						t.Fatal(err)
+					}
+					if res := m.Run(); res != vm.RunHalted {
+						t.Fatalf("run: %v (fault %v)", res, m.Fault())
+					}
+				})
+			}
+			short, long := run(50), run(500)
+			// Machine construction allocates a fixed amount; the 10x longer
+			// run may only add scheduling-slice noise, not O(n) closures.
+			if long > short+8 {
+				t.Errorf("allocations scale with workload: %d iters -> %.0f allocs, %d iters -> %.0f allocs",
+					50, short, 500, long)
+			}
+		})
+	}
+}
+
+// BenchmarkExecAllocs reports allocs/op for the scalar rendezvous loop
+// under both engines — the benchmark-time guard that the hot path stays
+// allocation-free (check the allocs/op column).
+func BenchmarkExecAllocs(b *testing.B) {
+	for _, engine := range []vm.Engine{vm.EngineBaseline, vm.EngineFused} {
+		b.Run(engine.String(), func(b *testing.B) {
+			prog, err := compileBench(countSrc(200))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := vm.New(prog, vm.Config{Engine: engine})
+				if err := m.BindReader("doneC", &vm.CollectReader{}); err != nil {
+					b.Fatal(err)
+				}
+				if res := m.Run(); res != vm.RunHalted {
+					b.Fatalf("run: %v", res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSaveRestore measures the model checker's per-transition state
+// capture: Save into a reused snapshot plus RestoreState.
+func BenchmarkSaveRestore(b *testing.B) {
+	prog, err := compileBench(mcSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(prog, vm.Config{Manual: true, MaxLiveObjects: 16})
+	m.Cost = vm.ZeroCostModel()
+	m.Settle()
+	var snap vm.SavedState
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Save(&snap)
+		m.RestoreState(&snap)
+	}
+}

@@ -64,6 +64,16 @@ type Object struct {
 	Freed bool
 	Tag   int     // union: valid field index
 	Elems []Value // record fields / union payload (len 1) / array elements
+
+	// mark/markIdx implement generation-stamped graph traversal for the
+	// state encoder and snapshotter (see encode.go, savedstate.go): an
+	// object is "visited this traversal" iff mark equals the machine's
+	// current generation, and markIdx is its first-visit index. Objects
+	// are never shared between machines (Clone deep-copies, RestoreState
+	// rebuilds into a per-machine pool), so a per-machine generation
+	// counter suffices.
+	mark    int64
+	markIdx int32
 }
 
 // String renders the object shallowly.

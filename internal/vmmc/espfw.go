@@ -2,6 +2,7 @@ package vmmc
 
 import (
 	"fmt"
+	"sync"
 
 	esplang "esplang"
 	"esplang/internal/nic"
@@ -31,14 +32,44 @@ type ESPFirmware struct {
 // benchmark runs would fault, which is exactly the §5.2 leak detector.
 const maxLiveObjects = 512
 
-// NewESPFirmware compiles the ESP firmware for the NIC's configuration
-// and binds its external channels to the hardware.
-func NewESPFirmware(n *nic.NIC) (*ESPFirmware, error) {
-	prog, err := esplang.Compile(ESPSource(n.Cfg), esplang.CompileOptions{Name: "vmmcESP"})
+// Engine selects the VM interpreter the ESP firmware runs on (fused by
+// default). vmmcbench's -engine flag flips it for differential runs; the
+// latency figures are engine-independent because both engines charge the
+// same cycle cost model.
+var Engine = vm.EngineFused
+
+// fwCache caches compiled firmware programs by NIC configuration:
+// benchmark loops construct a fresh NIC pair (and firmware) per
+// iteration, and both recompiling the identical program and even
+// re-rendering its source text dominated their profiles. nic.Config is
+// all scalar fields, so it is a valid map key; a compiled Program is
+// immutable at runtime (machines copy what they mutate), so sharing one
+// across firmware instances is safe.
+var fwCache sync.Map // nic.Config -> *esplang.Program
+
+func compileFirmware(cfg nic.Config) (*esplang.Program, error) {
+	if p, ok := fwCache.Load(cfg); ok {
+		return p.(*esplang.Program), nil
+	}
+	prog, err := esplang.Compile(ESPSource(cfg), esplang.CompileOptions{Name: "vmmcESP"})
 	if err != nil {
 		return nil, fmt.Errorf("vmmc: ESP firmware does not compile: %w", err)
 	}
-	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: maxLiveObjects})
+	if prev, loaded := fwCache.LoadOrStore(cfg, prog); loaded {
+		return prev.(*esplang.Program), nil
+	}
+	return prog, nil
+}
+
+// NewESPFirmware compiles the ESP firmware for the NIC's configuration
+// (cached per configuration) and binds its external channels to the
+// hardware.
+func NewESPFirmware(n *nic.NIC) (*ESPFirmware, error) {
+	prog, err := compileFirmware(n.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: maxLiveObjects, Engine: Engine})
 
 	b := &espBridge{n: n, m: m}
 	b.userT = prog.IR.ChannelByName("userReqC").Elem
@@ -118,9 +149,14 @@ type espBridge struct {
 	// §5.3).
 	lastRecvSeq int64
 
-	pendingReq *nic.HostRequest
-	hostDone   []int64 // host-DMA completion tags awaiting delivery
-	cyclesFwd  int64   // machine cycles already forwarded to the NIC clock
+	// pendingReq holds a host request popped by Ready but not yet taken.
+	// Stored by value: a pointer here would heap-allocate once per host
+	// request on the firmware hot path.
+	pendingReq  nic.HostRequest
+	havePending bool
+
+	hostDone  []int64 // host-DMA completion tags awaiting delivery
+	cyclesFwd int64   // machine cycles already forwarded to the NIC clock
 }
 
 // sync forwards freshly consumed VM cycles to the NIC so that DMA issues
@@ -151,12 +187,13 @@ func (b *espBridge) drainDMADone() {
 type userReqBinding espBridge
 
 func (b *userReqBinding) Ready(_ *vm.Machine) (int, bool) {
-	if b.pendingReq == nil {
+	if !b.havePending {
 		r, ok := b.n.PopRequest()
 		if !ok {
 			return 0, false
 		}
-		b.pendingReq = &r
+		b.pendingReq = r
+		b.havePending = true
 	}
 	if b.pendingReq.IsUpdate {
 		return 1, true
@@ -166,7 +203,7 @@ func (b *userReqBinding) Ready(_ *vm.Machine) (int, bool) {
 
 func (b *userReqBinding) Take(m *vm.Machine, caseIdx int) vm.Value {
 	r := b.pendingReq
-	b.pendingReq = nil
+	b.havePending = false
 	if caseIdx == 1 {
 		rec := m.NewRecordV(b.updateT, vm.IntVal(r.UpdVAddr), vm.IntVal(r.UpdPAddr))
 		return m.NewUnionV(b.userT, 1, rec)

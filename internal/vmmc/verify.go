@@ -3,10 +3,32 @@ package vmmc
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	esplang "esplang"
 	"esplang/internal/nic"
 )
+
+// modelCache caches compiled verification models by source text. The
+// Verify* entry points are called in benchmark loops (and repeatedly by
+// vmmcbench's tables) with identical parameters, and recompiling the
+// model every call crowded the profile without exercising the checker. A
+// compiled Program is immutable at runtime, so sharing is safe.
+var modelCache sync.Map // source string -> *esplang.Program
+
+func compileModel(src string, co esplang.CompileOptions) (*esplang.Program, error) {
+	if p, ok := modelCache.Load(src); ok {
+		return p.(*esplang.Program), nil
+	}
+	prog, err := esplang.Compile(src, co)
+	if err != nil {
+		return nil, err
+	}
+	if prev, loaded := modelCache.LoadOrStore(src, prog); loaded {
+		return prev.(*esplang.Program), nil
+	}
+	return prog, nil
+}
 
 // This file reproduces §5.3: using the model checker to develop and
 // exhaustively test the VMMC firmware.
@@ -123,7 +145,7 @@ process hwNotify {
 // worker count), so the §5.3 verification run scales with the machine —
 // vmmcbench threads its -mc-workers flag through here.
 func VerifyFirmware(cfg nic.Config, msgs int, opts esplang.VerifyOptions) (*esplang.VerifyResult, error) {
-	prog, err := esplang.Compile(FirmwareModel(cfg, msgs), esplang.CompileOptions{Name: "vmmc-verify"})
+	prog, err := compileModel(FirmwareModel(cfg, msgs), esplang.CompileOptions{Name: "vmmc-verify"})
 	if err != nil {
 		return nil, fmt.Errorf("vmmc: verification model does not compile: %w", err)
 	}
@@ -221,7 +243,7 @@ process receiver {
 
 // VerifyRetrans model-checks the retransmission protocol.
 func VerifyRetrans(window, msgs int, buggy bool, opts esplang.VerifyOptions) (*esplang.VerifyResult, error) {
-	prog, err := esplang.Compile(RetransModel(window, msgs, buggy), esplang.CompileOptions{Name: "retrans"})
+	prog, err := compileModel(RetransModel(window, msgs, buggy), esplang.CompileOptions{Name: "retrans"})
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +354,7 @@ process consumer {
 // VerifyMemSafety model-checks the data-path model with the given seeded
 // bug (BugNone must pass; every other bug must be found).
 func VerifyMemSafety(bug MemBug, opts esplang.VerifyOptions) (*esplang.VerifyResult, error) {
-	prog, err := esplang.Compile(MemSafetyModel(bug), esplang.CompileOptions{Name: "memsafety", File: "memsafety.esp"})
+	prog, err := compileModel(MemSafetyModel(bug), esplang.CompileOptions{Name: "memsafety", File: "memsafety.esp"})
 	if err != nil {
 		return nil, err
 	}
@@ -481,7 +503,7 @@ process hwNotify1 {
 
 // VerifyTwoNode model-checks the two-node model.
 func VerifyTwoNode(cfg nic.Config, msgs int, opts esplang.VerifyOptions) (*esplang.VerifyResult, error) {
-	prog, err := esplang.Compile(TwoNodeModel(cfg, msgs), esplang.CompileOptions{Name: "vmmc-2node"})
+	prog, err := compileModel(TwoNodeModel(cfg, msgs), esplang.CompileOptions{Name: "vmmc-2node"})
 	if err != nil {
 		return nil, fmt.Errorf("vmmc: two-node model does not compile: %w", err)
 	}

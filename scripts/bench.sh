@@ -1,0 +1,38 @@
+#!/bin/sh
+# Record the PR's headline benchmarks — firmware latency/bandwidth and
+# verifier throughput, baseline engine vs fused engine — into
+# BENCH_PR4.json at the repository root. Commit the file so performance
+# claims travel with the code.
+#
+# Usage:
+#   scripts/bench.sh                 # engine-vs-engine numbers only
+#   scripts/bench.sh -seed <gitref>  # also benchmark the pre-PR commit
+#                                    # in a worktree and record the
+#                                    # fused-over-seed speedups
+# Extra arguments are passed through to cmd/benchrec.
+set -eu
+cd "$(dirname "$0")/.."
+
+seed_file=""
+wt=""
+if [ "${1:-}" = "-seed" ]; then
+    ref="$2"
+    shift 2
+    wt=$(mktemp -d /tmp/espseed.XXXXXX)
+    git worktree add --detach --force "$wt" "$ref" >/dev/null
+    echo "benchmarking seed $ref ..." >&2
+    (cd "$wt" && go test -run xxx \
+        -bench 'Fig5aLatency/vmmcESP|Fig5bBandwidth/vmmcESP/1024B|VerifyMemSafety|VerifyFirmwareModel' \
+        -benchtime 2s .) | tee "$wt/seed_bench.txt" >&2
+    seed_file="$wt/seed_bench.txt"
+fi
+
+if [ -n "$seed_file" ]; then
+    go run ./cmd/benchrec -out BENCH_PR4.json -seed-bench "$seed_file" "$@"
+else
+    go run ./cmd/benchrec -out BENCH_PR4.json "$@"
+fi
+
+if [ -n "$wt" ]; then
+    git worktree remove --force "$wt"
+fi
