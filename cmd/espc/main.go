@@ -36,6 +36,10 @@ func main() {
 		noOpt     = flag.Bool("O0", false, "disable the §6.1 IR optimizations")
 		disasm    = flag.Bool("S", false, "print the compiled IR to stdout")
 		dumpIR    = flag.Bool("dump-ir", false, "print the compiled IR to stdout (alias of -S)")
+		dumpFused = flag.Bool("dump-fused", false, "print the fused-engine superinstruction translation to stdout")
+		vet       = flag.Bool("vet", false, "print espvet static-analysis findings to stderr")
+		vetErr    = flag.Bool("vet-err", false, "like -vet, but findings fail the build (exit 1)")
+		vetOff    = flag.String("vet-disable", "", "comma-separated espvet check IDs or names to suppress")
 		stats     = flag.Bool("stats", false, "print program statistics")
 		optStats  = flag.Bool("opt-stats", false, "print per-pass optimizer statistics")
 		verifyIR  = flag.Bool("verify-ir", false, "check IR structural invariants after compilation and after every optimizer pass")
@@ -59,20 +63,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "espc: %v\n", err)
 		os.Exit(1)
 	}
+	vetDisable := map[string]bool{}
+	for _, key := range strings.Split(*vetOff, ",") {
+		if key = strings.TrimSpace(key); key != "" {
+			vetDisable[key] = true
+		}
+	}
 	prog, err := esplang.Compile(string(src), esplang.CompileOptions{
 		Name:       in,
 		File:       in,
 		NoOptimize: *noOpt,
 		VerifyIR:   *verifyIR,
+		VetDisable: vetDisable,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, diag.RenderError(err, in, string(src)))
 		os.Exit(1)
 	}
+	if (*vet || *vetErr) && len(prog.Findings) > 0 {
+		fmt.Fprint(os.Stderr, prog.RenderFindings())
+		if *vetErr {
+			os.Exit(1)
+		}
+	}
 
 	base := strings.TrimSuffix(in, filepath.Ext(in))
 	if *disasm || *dumpIR {
 		fmt.Print(prog.Disasm())
+	}
+	if *dumpFused {
+		fmt.Print(prog.DisasmFused())
 	}
 	if *stats {
 		s := prog.Stats()

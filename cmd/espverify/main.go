@@ -36,6 +36,7 @@ func main() {
 		progressI = flag.Duration("progress-interval", 2*time.Second, "interval between -progress samples")
 		metricsF  = flag.String("metrics", "", "write a JSON metrics snapshot of the search to this file at exit")
 		engineN   = flag.String("engine", "fused", "VM engine driving the search: fused or baseline (verdicts and state counts are identical)")
+		noVet     = flag.Bool("no-vet", false, "do not print espvet static-analysis findings before checking")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,6 +53,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "espverify: %v\n", err)
 		os.Exit(1)
+	}
+	// Static findings print before the search starts: a finding the
+	// counterexample then confirms is tagged below, and a leak/deadlock
+	// the search misses (open systems, bounds) is still surfaced here.
+	if !*noVet && len(prog.Findings) > 0 {
+		fmt.Fprint(os.Stderr, prog.RenderFindings())
 	}
 
 	opts := esplang.VerifyOptions{
@@ -113,6 +120,9 @@ func main() {
 		fmt.Println("counterexample:")
 		for i, step := range res.Violation.Trace {
 			fmt.Printf("  %3d. %s\n", i+1, step.Desc)
+		}
+		if f := prog.ConfirmFinding(res.Violation); f != nil {
+			fmt.Printf("confirms static finding: %s\n", f)
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,152 @@
+// Command espvet runs the static-analysis suite over ESP programs and
+// reports memory-safety and channel-protocol findings with caret-marked
+// source excerpts — the compile-time complement to espverify's
+// exhaustive model checking.
+//
+// Usage:
+//
+//	espvet [flags] file.esp... | dir...
+//
+// Directory arguments vet every *.esp file directly inside them (not
+// recursively). Exit status: 0 when every program is clean, 1 when any
+// finding was reported, 2 on usage or compile errors.
+//
+//	$ espvet testdata/vet/double_free.esp
+//	testdata/vet/double_free.esp:11:5: warning: d is released twice [ESPV004]
+//	    unlink( d); // BUG: d was already released
+//	    ^
+//	testdata/vet/double_free.esp:10:5: note: first released here
+//	    unlink( d);
+//	    ^
+//
+// -list prints the check catalogue; -disable suppresses checks by ID
+// ("ESPV002") or name ("leak"), comma-separated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	esplang "esplang"
+	"esplang/internal/diag"
+)
+
+func main() {
+	var (
+		disable = flag.String("disable", "", "comma-separated check IDs or names to suppress (e.g. ESPV021,leak)")
+		list    = flag.Bool("list", false, "print the check catalogue and exit")
+		quiet   = flag.Bool("q", false, "suppress source excerpts; print one line per finding")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range esplang.VetChecks() {
+			fmt.Printf("%s  %-16s %s\n", c.ID, c.Name, c.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: espvet [flags] file.esp... | dir...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	vetDisable := map[string]bool{}
+	if *disable != "" {
+		known := map[string]bool{}
+		for _, c := range esplang.VetChecks() {
+			known[c.ID], known[c.Name] = true, true
+		}
+		for _, key := range strings.Split(*disable, ",") {
+			key = strings.TrimSpace(key)
+			if key == "" {
+				continue
+			}
+			if !known[key] {
+				fmt.Fprintf(os.Stderr, "espvet: unknown check %q (see espvet -list)\n", key)
+				os.Exit(2)
+			}
+			vetDisable[key] = true
+		}
+	}
+
+	files, err := expandArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "espvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espvet: %v\n", err)
+			exit = 2
+			continue
+		}
+		prog, err := esplang.Compile(string(src), esplang.CompileOptions{
+			Name:       path,
+			File:       path,
+			VetDisable: vetDisable,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, diag.RenderError(err, path, string(src)))
+			exit = 2
+			continue
+		}
+		if len(prog.Findings) == 0 {
+			continue
+		}
+		if exit == 0 {
+			exit = 1
+		}
+		if *quiet {
+			for _, f := range prog.Findings {
+				fmt.Printf("%s:%s\n", path, f)
+			}
+		} else {
+			fmt.Print(prog.RenderFindings())
+		}
+	}
+	os.Exit(exit)
+}
+
+// expandArgs resolves the file/directory arguments to a sorted,
+// deduplicated list of .esp files. Directories contribute their direct
+// *.esp entries.
+func expandArgs(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			files = append(files, p)
+		}
+	}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.esp"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no .esp files in %s", arg)
+		}
+		for _, m := range matches {
+			add(m)
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}

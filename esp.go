@@ -28,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"esplang/internal/analysis"
 	"esplang/internal/ast"
 	"esplang/internal/cbackend"
 	"esplang/internal/check"
@@ -130,6 +131,9 @@ type CompileOptions struct {
 	// VerifyIR checks structural IR invariants (ir.Verify) after
 	// compilation and again after every optimizer pass.
 	VerifyIR bool
+	// VetDisable suppresses espvet checks by ID ("ESPV002") or name
+	// ("leak") when computing Program.Findings.
+	VetDisable map[string]bool
 }
 
 // Program is a compiled ESP program.
@@ -144,6 +148,12 @@ type Program struct {
 	// OptStats reports the optimizer driver's per-pass statistics (nil
 	// when optimization was disabled).
 	OptStats *opt.Stats
+	// Findings are the espvet static-analysis reports, computed over the
+	// pre-optimization IR during Compile (the optimizer's dead-code and
+	// dead-store elimination would hide exactly the defects the analyses
+	// look for). Findings never fail compilation; espc -vet-err and
+	// cmd/espvet turn them into build failures.
+	Findings []*Finding
 }
 
 // Compile parses, type-checks, lowers, and optimizes an ESP program.
@@ -166,6 +176,12 @@ func Compile(src string, opts CompileOptions) (*Program, error) {
 		}
 	}
 	prog := &Program{Name: opts.Name, File: opts.File, Source: src, AST: tree, Info: info, IR: irProg}
+	// espvet runs on every compile, before the optimizer touches the IR.
+	// The analyses assume ir.Verify's structural invariants, so when
+	// verification was not already requested it runs quietly here first.
+	if opts.VerifyIR || ir.Verify(irProg) == nil {
+		prog.Findings = analysis.Analyze(irProg, analysis.Options{Disable: opts.VetDisable})
+	}
 	if !opts.NoOptimize {
 		passes := opts.Passes
 		if passes == (OptOptions{}) {
@@ -243,6 +259,23 @@ func (p *Program) Disasm() string {
 	var b strings.Builder
 	for _, proc := range p.IR.Procs {
 		b.WriteString(ir.Disasm(proc))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DisasmFused renders the fused-engine translation of every process —
+// the superinstruction code the default engine actually executes. When
+// the optimizer has not cached a translation (e.g. -O0), processes are
+// fused on the fly, exactly as vm.New would.
+func (p *Program) DisasmFused() string {
+	fused := p.IR.Fused
+	if fused == nil {
+		fused = ir.FuseProgram(p.IR)
+	}
+	var b strings.Builder
+	for i, proc := range p.IR.Procs {
+		b.WriteString(ir.DisasmFused(proc, fused[i]))
 		b.WriteByte('\n')
 	}
 	return b.String()

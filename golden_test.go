@@ -71,3 +71,26 @@ func TestAppendixBDisasmGolden(t *testing.T) {
 	}
 	checkGolden(t, "testdata/appendixb.disasm.golden", prog.Disasm())
 }
+
+// TestAppendixBFusedDisasmGolden locks the fused-engine translation of
+// the same program — the superinstruction code the default VM engine
+// actually executes. -dump-fused in espc prints exactly this, so the
+// golden keeps the fused disassembler honest after fusion rule changes.
+func TestAppendixBFusedDisasmGolden(t *testing.T) {
+	prog, err := esplang.CompileFile("testdata/appendixb.esp", esplang.CompileOptions{Name: "appendixb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/appendixb.fused.golden", prog.DisasmFused())
+}
+
+// TestPipelineFusedDisasmGolden locks the fused rendering of a program
+// whose counter loops actually fuse: fconstst, flccmpbr, fincrlocal,
+// floadsend, and friends all appear here with their base-pc ranges.
+func TestPipelineFusedDisasmGolden(t *testing.T) {
+	prog, err := esplang.CompileFile("testdata/pipeline.esp", esplang.CompileOptions{Name: "pipeline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/pipeline.fused.golden", prog.DisasmFused())
+}

@@ -1,0 +1,413 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/check"
+	"esplang/internal/compile"
+	"esplang/internal/ir"
+	"esplang/internal/parser"
+)
+
+// compileSrc lowers a source program to the pre-optimization IR the
+// analyses run on.
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	tree, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(tree)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog := compile.Program(tree, info)
+	if err := ir.Verify(prog); err != nil {
+		t.Fatalf("ir.Verify: %v", err)
+	}
+	return prog
+}
+
+func findings(t *testing.T, src string) []*Finding {
+	t.Helper()
+	return Analyze(compileSrc(t, src), Options{})
+}
+
+// ids collects the distinct check IDs of a findings list.
+func ids(fs []*Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Check.ID]++
+	}
+	return m
+}
+
+func wantOnly(t *testing.T, fs []*Finding, want ...string) {
+	t.Helper()
+	got := ids(fs)
+	for _, id := range want {
+		if got[id] == 0 {
+			t.Errorf("missing %s finding; got %v", id, fs)
+		}
+		delete(got, id)
+	}
+	for id := range got {
+		t.Errorf("unexpected %s finding; got %v", id, fs)
+	}
+}
+
+const dataDecl = "type dataT = array of int\n"
+
+func TestChecksWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checks() {
+		if c.ID == "" || c.Name == "" || c.Doc == "" {
+			t.Errorf("incomplete check %+v", c)
+		}
+		if seen[c.ID] || seen[c.Name] {
+			t.Errorf("duplicate check id/name %+v", c)
+		}
+		seen[c.ID], seen[c.Name] = true, true
+	}
+}
+
+func TestDefiniteSelfReferentialPattern(t *testing.T) {
+	fs := findings(t, `
+type pairT = record of { a: int, b: int }
+channel c: pairT
+process s { out( c, { 1, 1}); }
+process r { in( c, { $v, v}); }
+`)
+	wantOnly(t, fs, "ESPV001")
+	if !strings.Contains(fs[0].Msg, "before it is assigned") {
+		t.Errorf("unexpected message: %s", fs[0].Msg)
+	}
+}
+
+func TestOwnershipLeakOverwrite(t *testing.T) {
+	fs := findings(t, dataDecl+`
+process p {
+    $d: dataT = { 1 -> 0};
+    d = { 1 -> 1};
+    unlink( d);
+}
+`)
+	// The overwritten initial value is also a dead store — two distinct
+	// true positives on the same line pair.
+	wantOnly(t, fs, "ESPV002", "ESPV021")
+}
+
+func TestOwnershipLeakRebindInLoop(t *testing.T) {
+	fs := findings(t, dataDecl+`
+channel c: dataT
+process p {
+    $n = 0;
+    while (n < 2) {
+        $d: dataT = { 1 -> n};
+        out( c, d);
+        unlink( d);
+        n = n + 1;
+    }
+}
+process q {
+    $n = 0;
+    while (n < 2) {
+        in( c, $d);
+        n = n + 1;
+    }
+}
+`)
+	wantOnly(t, fs, "ESPV002")
+	if fs[0].Proc != "q" {
+		t.Errorf("leak attributed to %q, want q", fs[0].Proc)
+	}
+}
+
+func TestOwnershipExitLeak(t *testing.T) {
+	fs := findings(t, dataDecl+`
+process p { $a: dataT = { 1 -> 0}; }
+`)
+	// The never-read store is also a dead store.
+	wantOnly(t, fs, "ESPV002", "ESPV021")
+	found := false
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "never released before process p exits") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no exit-leak message in %v", fs)
+	}
+}
+
+func TestOwnershipUseAfterFree(t *testing.T) {
+	fs := findings(t, dataDecl+`
+process p {
+    $d: dataT = { 2 -> 1};
+    unlink( d);
+    assert( d[0] == 1);
+}
+`)
+	wantOnly(t, fs, "ESPV003")
+}
+
+func TestOwnershipDoubleFree(t *testing.T) {
+	fs := findings(t, dataDecl+`
+process p {
+    $d: dataT = { 1 -> 1};
+    unlink( d);
+    unlink( d);
+}
+`)
+	wantOnly(t, fs, "ESPV004")
+	// The finding carries the first release and the allocation as
+	// secondary spans.
+	if len(fs[0].Notes) < 2 {
+		t.Errorf("double-free finding has %d notes, want >= 2: %+v", len(fs[0].Notes), fs[0].Notes)
+	}
+}
+
+func TestOwnershipCleanTransfer(t *testing.T) {
+	fs := findings(t, dataDecl+`
+channel c: dataT
+process p {
+    $d: dataT = { 1 -> 7};
+    out( c, d);
+    unlink( d);
+}
+process q {
+    in( c, $x);
+    assert( x[0] == 7);
+    unlink( x);
+}
+`)
+	wantOnly(t, fs)
+}
+
+func TestOwnershipAliasDemotesSilently(t *testing.T) {
+	// Aliasing is beyond the per-slot model: both slots go untracked,
+	// which may miss a bug but must not invent one.
+	fs := findings(t, dataDecl+`
+process p {
+    $a: dataT = { 1 -> 0};
+    $b: dataT = a;
+    unlink( b);
+}
+`)
+	wantOnly(t, fs)
+}
+
+func TestChannelOrphans(t *testing.T) {
+	fs := findings(t, `
+channel c: int
+channel d: int
+process p { out( c, 1); }
+process q { in( c, $v); out( d, v); }
+`)
+	wantOnly(t, fs, "ESPV010")
+
+	fs = findings(t, `
+channel c: int
+process p { in( c, $v); }
+`)
+	wantOnly(t, fs, "ESPV010")
+}
+
+func TestChannelExternalExempt(t *testing.T) {
+	fs := findings(t, `
+channel inC: int external writer
+channel outC: int external reader
+process p {
+    $n = 0;
+    while (true) {
+        in( inC, $v);
+        out( outC, v + n);
+    }
+}
+`)
+	wantOnly(t, fs)
+}
+
+func TestChannelSelfRendezvous(t *testing.T) {
+	fs := findings(t, `
+channel c: int
+process p { out( c, 7); in( c, $v); }
+`)
+	wantOnly(t, fs, "ESPV011")
+}
+
+func TestChannelDeadAltArm(t *testing.T) {
+	fs := findings(t, `
+channel req: int
+channel rsp: int
+process client {
+    out( req, 1);
+    in( rsp, 1);
+}
+process server {
+    $done = 0;
+    while (done == 0) {
+        alt {
+            case( in( req, $v)) { out( rsp, 1); }
+            case( in( rsp, 0)) { done = 1; }
+        }
+    }
+}
+`)
+	wantOnly(t, fs, "ESPV012")
+	if len(fs[0].Notes) == 0 {
+		t.Errorf("dead-alt-arm finding has no counterparty notes")
+	}
+}
+
+func TestDeadCodeAfterInfiniteLoop(t *testing.T) {
+	fs := findings(t, `
+channel c: int
+process p {
+    while (true) { out( c, 1); }
+    assert( false);
+}
+process q {
+    while (true) { in( c, $v); }
+}
+`)
+	wantOnly(t, fs, "ESPV020")
+}
+
+func TestDeadCodeBranchesBothLive(t *testing.T) {
+	fs := findings(t, `
+channel c: int
+process p {
+    $x = 3;
+    if (x > 1) { out( c, 1); } else { out( c, 2); }
+}
+process q { in( c, $v); }
+`)
+	wantOnly(t, fs)
+}
+
+func TestDeadStore(t *testing.T) {
+	fs := findings(t, `
+channel c: int
+process p {
+    $x = 1;
+    x = 2;
+    out( c, x);
+}
+process q { in( c, $v); assert( v == 2); }
+`)
+	wantOnly(t, fs, "ESPV021")
+}
+
+func TestDeadStoreUnusedReceiveBindingNotReported(t *testing.T) {
+	// Binding a value you don't need is the idiomatic way to consume a
+	// message; it is deliberately not a dead store.
+	fs := findings(t, `
+channel c: int
+process p { out( c, 1); }
+process q { in( c, $ignored); }
+`)
+	wantOnly(t, fs)
+}
+
+func TestOptionsDisable(t *testing.T) {
+	src := dataDecl + `
+process p {
+    $d: dataT = { 1 -> 1};
+    unlink( d);
+    unlink( d);
+}
+`
+	prog := compileSrc(t, src)
+	for _, key := range []string{"ESPV004", "double-free"} {
+		fs := Analyze(prog, Options{Disable: map[string]bool{key: true}})
+		if n := ids(fs)["ESPV004"]; n != 0 {
+			t.Errorf("Disable[%q] left %d ESPV004 findings", key, n)
+		}
+	}
+}
+
+func TestFindingsDeterministicOrder(t *testing.T) {
+	src := dataDecl + `
+channel c: dataT
+process p {
+    $d: dataT = { 1 -> 0};
+    d = { 1 -> 1};
+    unlink( d);
+    unlink( d);
+    out( c, d);
+}
+process q {
+    $n = 0;
+    while (true) { in( c, $x); unlink( x); }
+}
+`
+	prog := compileSrc(t, src)
+	first := Analyze(prog, Options{})
+	for i := 0; i < 5; i++ {
+		again := Analyze(prog, Options{})
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings, want %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j].String() != first[j].String() {
+				t.Fatalf("run %d: finding %d = %s, want %s", i, j, again[j], first[j])
+			}
+		}
+	}
+	for j := 1; j < len(first); j++ {
+		a, b := first[j-1].Pos, first[j].Pos
+		if a.Line > b.Line {
+			t.Errorf("findings out of source order: %s before %s", first[j-1], first[j])
+		}
+	}
+}
+
+func TestCFGConstBranchFolding(t *testing.T) {
+	prog := compileSrc(t, `
+channel c: int
+process p {
+    while (true) { out( c, 1); }
+    out( c, 2);
+}
+process q { while (true) { in( c, $v); } }
+`)
+	g := buildCFG(prog.Procs[0])
+	unreachable := 0
+	for bi, ok := range g.reachable {
+		if !ok && g.blocks[bi].end > g.blocks[bi].start {
+			unreachable++
+		}
+	}
+	if unreachable == 0 {
+		t.Errorf("while(true) exit edge was not folded: all blocks reachable")
+	}
+}
+
+func TestCFGAltArmEdges(t *testing.T) {
+	prog := compileSrc(t, `
+channel a: int
+channel b: int
+process p {
+    alt {
+        case( in( a, $v)) { skip; }
+        case( out( b, 1)) { skip; }
+    }
+}
+process q { out( a, 1); }
+process r { in( b, $w); }
+`)
+	g := buildCFG(prog.Procs[0])
+	armEdges := 0
+	for _, blk := range g.blocks {
+		for _, e := range blk.succs {
+			if e.arm != nil {
+				armEdges++
+			}
+		}
+	}
+	if armEdges != 2 {
+		t.Errorf("got %d arm edges, want 2", armEdges)
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import "esplang/internal/ir"
+
+// edge is one CFG edge. For the successors of an Alt instruction it
+// carries the arm taken, whose pattern bindings are edge effects: the
+// receive arm's bound slots are assigned on the edge into the arm body,
+// not by any instruction.
+type edge struct {
+	to  int        // successor block index
+	arm *ir.AltArm // non-nil on Alt -> arm-entry edges
+}
+
+// block is one basic block: the half-open instruction range
+// [start, end) and its successor edges.
+type block struct {
+	start, end int
+	succs      []edge
+}
+
+// cfg is the control-flow graph of one process, plus the per-pc operand
+// stack depths (every reachable pc has exactly one entry depth — the
+// invariant ir.Verify proves — which the ownership analysis uses to
+// model the abstract operand stack across a block).
+type cfg struct {
+	blocks    []block
+	blockOf   []int  // pc -> enclosing block index
+	depth     []int  // pc -> operand stack depth on entry (-1 unreachable)
+	reachable []bool // block index -> reachable from entry
+}
+
+// buildCFG splits the process's code into basic blocks and links them.
+func buildCFG(p *ir.Proc) *cfg {
+	n := len(p.Code)
+	g := &cfg{}
+	if n == 0 {
+		return g
+	}
+
+	// Leaders: entry, every branch target, every instruction after a
+	// terminator, and every alt arm entry point.
+	leader := make([]bool, n)
+	leader[0] = true
+	mark := func(pc int) {
+		if pc >= 0 && pc < n {
+			leader[pc] = true
+		}
+	}
+	for pc, in := range p.Code {
+		switch in.Op {
+		case ir.Jump, ir.JumpIfFalse, ir.JumpIfTrue:
+			mark(in.A)
+			mark(pc + 1)
+		case ir.Halt, ir.Alt:
+			mark(pc + 1)
+		}
+	}
+	for _, alt := range p.Alts {
+		for _, arm := range alt.Arms {
+			if arm.IsSend {
+				mark(arm.EvalPC)
+			}
+			mark(arm.BodyPC)
+		}
+	}
+
+	g.blockOf = make([]int, n)
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.blocks = append(g.blocks, block{start: pc})
+		}
+		g.blockOf[pc] = len(g.blocks) - 1
+	}
+	for i := range g.blocks {
+		if i+1 < len(g.blocks) {
+			g.blocks[i].end = g.blocks[i+1].start
+		} else {
+			g.blocks[i].end = n
+		}
+	}
+
+	// Successor edges, from each block's final instruction.
+	for i := range g.blocks {
+		b := &g.blocks[i]
+		last := p.Code[b.end-1]
+		switch last.Op {
+		case ir.Jump:
+			b.succs = []edge{{to: g.blockOf[last.A]}}
+		case ir.JumpIfFalse, ir.JumpIfTrue:
+			// A branch whose condition is a constant pushed in the same
+			// block is decided: while(true) compiles to Const 1;
+			// JumpIfFalse exit, and treating the exit edge as real would
+			// hide every statement after an infinite loop from the
+			// unreachable-code check (and blur the other analyses' joins).
+			if taken, known := constBranch(p, b, b.end-1); known {
+				if taken {
+					b.succs = []edge{{to: g.blockOf[last.A]}}
+				} else if b.end < n {
+					b.succs = []edge{{to: g.blockOf[b.end]}}
+				}
+				break
+			}
+			b.succs = []edge{{to: g.blockOf[last.A]}}
+			if b.end < n {
+				b.succs = append(b.succs, edge{to: g.blockOf[b.end]})
+			}
+		case ir.Halt:
+			// no successors
+		case ir.Alt:
+			alt := &p.Alts[last.A]
+			for j := range alt.Arms {
+				arm := &alt.Arms[j]
+				entry := arm.BodyPC
+				if arm.IsSend {
+					entry = arm.EvalPC
+				}
+				b.succs = append(b.succs, edge{to: g.blockOf[entry], arm: arm})
+			}
+		default:
+			if b.end < n {
+				b.succs = []edge{{to: g.blockOf[b.end]}}
+			}
+		}
+	}
+
+	g.computeReach(p)
+	return g
+}
+
+// constBranch reports whether the conditional branch at pc is decided by
+// a constant condition pushed immediately before it in the same block,
+// and if so whether the branch is taken.
+func constBranch(p *ir.Proc, b *block, pc int) (taken, known bool) {
+	if pc-1 < b.start || p.Code[pc-1].Op != ir.Const {
+		return false, false
+	}
+	cond := p.Code[pc-1].Val != 0
+	if p.Code[pc].Op == ir.JumpIfFalse {
+		return !cond, true
+	}
+	return cond, true
+}
+
+// computeReach fills the reachability and per-pc depth tables.
+func (g *cfg) computeReach(p *ir.Proc) {
+	n := len(p.Code)
+	// Reachability and per-pc entry depths, propagated the same way
+	// ir.Verify's stack check propagates them.
+	g.depth = make([]int, n)
+	for i := range g.depth {
+		g.depth[i] = -1
+	}
+	g.reachable = make([]bool, len(g.blocks))
+	work := []int{g.blockOf[0]}
+	g.reachable[g.blockOf[0]] = true
+	g.depth[0] = 0
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := &g.blocks[bi]
+		d := g.depth[b.start]
+		for pc := b.start; pc < b.end; pc++ {
+			if g.depth[pc] == -1 {
+				g.depth[pc] = d
+			}
+			d += ir.StackEffect(p.Code[pc])
+		}
+		for _, e := range b.succs {
+			s := &g.blocks[e.to]
+			out := d
+			if e.arm != nil {
+				out = 0 // alt arms resume at statement boundaries
+			}
+			if !g.reachable[e.to] {
+				g.reachable[e.to] = true
+				g.depth[s.start] = out
+				work = append(work, e.to)
+			}
+		}
+	}
+}
+
+// preds returns the predecessor edges of every block: preds[bi] lists
+// the (source block, edge) pairs flowing into bi.
+func (g *cfg) preds() [][]predEdge {
+	p := make([][]predEdge, len(g.blocks))
+	for bi := range g.blocks {
+		for _, e := range g.blocks[bi].succs {
+			p[e.to] = append(p[e.to], predEdge{from: bi, e: e})
+		}
+	}
+	return p
+}
+
+// predEdge is an incoming CFG edge.
+type predEdge struct {
+	from int
+	e    edge
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"esplang/internal/diag"
+	"esplang/internal/ir"
+	"esplang/internal/token"
+)
+
+// commSite is one reachable communication site on a channel.
+type commSite struct {
+	proc *ir.Proc
+	pos  token.Pos
+	arm  *ir.AltArm // non-nil for alt-arm sites
+}
+
+// analyzeChannels reports channel-protocol defects — the static
+// deadlock candidates of §5: a rendezvous needs a sender and a receiver
+// in two different processes, so a channel whose reachable
+// communication sites cannot form such a pair can never complete one.
+//
+//   - ESPV010: every reachable site is on one side (sent but never
+//     received, or received but never sent);
+//   - ESPV011: both sides exist but only a single process touches the
+//     channel — it would have to rendezvous with itself;
+//   - ESPV012: an individual alt arm whose opposite-direction
+//     counterparties all live in the arm's own process, so that arm can
+//     never fire even though the channel as a whole is fine.
+//
+// External channels are exempt: the environment supplies the missing
+// side. Sites inside unreachable code do not count as counterparties.
+func analyzeChannels(prog *ir.Program, cfgs []*cfg, r *reporter) {
+	sends := make([][]commSite, len(prog.Channels))
+	recvs := make([][]commSite, len(prog.Channels))
+
+	for pi, p := range prog.Procs {
+		g := cfgs[pi]
+		for bi := range g.blocks {
+			if !g.reachable[bi] {
+				continue
+			}
+			b := &g.blocks[bi]
+			for pc := b.start; pc < b.end; pc++ {
+				in := p.Code[pc]
+				switch in.Op {
+				case ir.Send:
+					sends[in.A] = append(sends[in.A], commSite{proc: p, pos: in.Pos})
+				case ir.Recv:
+					recvs[in.A] = append(recvs[in.A], commSite{proc: p, pos: in.Pos})
+				case ir.Alt:
+					// Arm sites stand in for their SendCommit/port
+					// registrations, which carry no top-level site of
+					// their own.
+					for j := range p.Alts[in.A].Arms {
+						arm := &p.Alts[in.A].Arms[j]
+						s := commSite{proc: p, pos: arm.Pos, arm: arm}
+						if arm.IsSend {
+							sends[arm.Chan] = append(sends[arm.Chan], s)
+						} else {
+							recvs[arm.Chan] = append(recvs[arm.Chan], s)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, ch := range prog.Channels {
+		if ch.Ext != ir.ExtNone {
+			continue
+		}
+		S, R := sends[ch.ID], recvs[ch.ID]
+		switch {
+		case len(S) == 0 && len(R) == 0:
+			continue // declared but unused: harmless
+		case len(R) == 0:
+			s := firstSite(S)
+			r.report(&Finding{
+				Check: CheckOrphanChan,
+				Proc:  s.proc.Name,
+				Pos:   s.pos,
+				Msg:   fmt.Sprintf("channel %s is sent here but no process ever receives on it: this send can never complete", ch.Name),
+			})
+			continue
+		case len(S) == 0:
+			s := firstSite(R)
+			r.report(&Finding{
+				Check: CheckOrphanChan,
+				Proc:  s.proc.Name,
+				Pos:   s.pos,
+				Msg:   fmt.Sprintf("channel %s is received here but no process ever sends on it: this receive can never complete", ch.Name),
+			})
+			continue
+		}
+		if p := soleProc(S, R); p != nil {
+			s := firstSite(append(append([]commSite{}, S...), R...))
+			r.report(&Finding{
+				Check: CheckSelfRendezvous,
+				Proc:  p.Name,
+				Pos:   s.pos,
+				Msg:   fmt.Sprintf("only process %s communicates on channel %s: a process cannot rendezvous with itself", p.Name, ch.Name),
+			})
+			continue
+		}
+		// Per-arm counterparty check (only when the channel as a whole
+		// is healthy, so the finding adds information).
+		for _, s := range S {
+			if s.arm != nil && !anyOtherProc(R, s.proc) {
+				r.report(&Finding{
+					Check: CheckDeadAltArm,
+					Proc:  s.proc.Name,
+					Pos:   s.pos,
+					Msg:   fmt.Sprintf("alt send arm on channel %s can never synchronize: every receive on %s is in process %s itself", ch.Name, ch.Name, s.proc.Name),
+					Notes: siteNotes(R, "receive on "+ch.Name+" here"),
+				})
+			}
+		}
+		for _, s := range R {
+			if s.arm != nil && !anyOtherProc(S, s.proc) {
+				r.report(&Finding{
+					Check: CheckDeadAltArm,
+					Proc:  s.proc.Name,
+					Pos:   s.pos,
+					Msg:   fmt.Sprintf("alt receive arm on channel %s can never synchronize: every send on %s is in process %s itself", ch.Name, ch.Name, s.proc.Name),
+					Notes: siteNotes(S, "send on "+ch.Name+" here"),
+				})
+			}
+		}
+	}
+}
+
+// firstSite returns the site earliest in the source.
+func firstSite(sites []commSite) commSite {
+	min := sites[0]
+	for _, s := range sites[1:] {
+		if s.pos.Line < min.pos.Line || (s.pos.Line == min.pos.Line && s.pos.Column < min.pos.Column) {
+			min = s
+		}
+	}
+	return min
+}
+
+// anyOtherProc reports whether any site belongs to a process other than
+// self.
+func anyOtherProc(sites []commSite, self *ir.Proc) bool {
+	for _, s := range sites {
+		if s.proc != self {
+			return true
+		}
+	}
+	return false
+}
+
+// soleProc returns the single process owning every site, or nil.
+func soleProc(a, b []commSite) *ir.Proc {
+	var p *ir.Proc
+	for _, s := range append(append([]commSite{}, a...), b...) {
+		if p == nil {
+			p = s.proc
+		} else if s.proc != p {
+			return nil
+		}
+	}
+	return p
+}
+
+// siteNotes renders up to three counterparty sites as secondary spans.
+func siteNotes(sites []commSite, msg string) []diag.Note {
+	sorted := append([]commSite{}, sites...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].pos.Line != sorted[j].pos.Line {
+			return sorted[i].pos.Line < sorted[j].pos.Line
+		}
+		return sorted[i].pos.Column < sorted[j].pos.Column
+	})
+	var notes []diag.Note
+	for i, s := range sorted {
+		if i == 3 {
+			break
+		}
+		notes = append(notes, diag.Note{Pos: s.pos, Msg: msg})
+	}
+	return notes
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+
+	"esplang/internal/ir"
+)
+
+// analyzeDeadCode reports unreachable statements (ESPV020) and dead
+// stores (ESPV021).
+//
+// Unreachability falls straight out of the CFG: any block the entry
+// cannot reach. Consecutive unreachable instructions collapse into one
+// finding per source line, and compiler plumbing (the trailing Halt,
+// unconditional jumps) never anchors a report.
+//
+// Dead stores come from a backward liveness fixpoint: a store to a named
+// local whose value no later executed instruction can read. Implicit
+// reads count — alt guards, dynamic-equality pattern tests — and a
+// receive binding is a def (it kills liveness on its arm edge), but an
+// unused binding is deliberately not reported: binding-and-ignoring a
+// field is ordinary protocol code, discarding with _ is merely the
+// tidier spelling.
+func analyzeDeadCode(prog *ir.Program, p *ir.Proc, g *cfg, r *reporter) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	reportUnreachable(p, g, r)
+	reportDeadStores(p, g, r)
+}
+
+func reportUnreachable(p *ir.Proc, g *cfg, r *reporter) {
+	seenLine := map[int]bool{}
+	for bi := range g.blocks {
+		if g.reachable[bi] {
+			continue
+		}
+		b := &g.blocks[bi]
+		for pc := b.start; pc < b.end; pc++ {
+			in := p.Code[pc]
+			// Jumps and the process's closing Halt carry structural
+			// positions (the enclosing statement or the process
+			// declaration), not the dead statement itself.
+			if in.Op == ir.Jump || in.Op == ir.Halt || !in.Pos.IsValid() {
+				continue
+			}
+			if seenLine[in.Pos.Line] {
+				continue
+			}
+			seenLine[in.Pos.Line] = true
+			r.report(&Finding{
+				Check: CheckUnreachable,
+				Proc:  p.Name,
+				Pos:   in.Pos,
+				Msg:   "unreachable code",
+			})
+			break // one finding per unreachable block is enough
+		}
+	}
+}
+
+func reportDeadStores(p *ir.Proc, g *cfg, r *reporter) {
+	n := p.NumLocals
+	lat := lattice[bitset]{
+		bottom: func() bitset { return newBitset(n) },
+		join: func(a, b bitset) (bitset, bool) {
+			return a, a.unionInto(b)
+		},
+	}
+	transferBack := func(bi int, out bitset) bitset {
+		return liveFlowBlock(p, g, bi, out, nil)
+	}
+	edgeBack := func(e edge, succIn bitset) bitset {
+		binds := patBindSlots(armPat(p, e.arm), nil)
+		if len(binds) == 0 {
+			return succIn
+		}
+		s := succIn.clone()
+		for _, slot := range binds {
+			s.clear(slot)
+		}
+		return s
+	}
+	out := backwardFixpoint(g, lat, transferBack, edgeBack)
+	for bi := range g.blocks {
+		if g.reachable[bi] {
+			liveFlowBlock(p, g, bi, out[bi], r)
+		}
+	}
+}
+
+// liveFlowBlock propagates liveness backward through block bi from its
+// out-state and returns the in-state. With a reporter it flags stores to
+// named locals that are dead at the store.
+func liveFlowBlock(p *ir.Proc, g *cfg, bi int, out bitset, r *reporter) bitset {
+	live := out.clone()
+	b := &g.blocks[bi]
+	for pc := b.end - 1; pc >= b.start; pc-- {
+		in := p.Code[pc]
+		switch in.Op {
+		case ir.StoreLocal:
+			if r != nil && !live.get(in.A) && p.LocalName[in.A] != "" {
+				r.report(&Finding{
+					Check: CheckDeadStore,
+					Proc:  p.Name,
+					Pos:   in.Pos,
+					Msg:   fmt.Sprintf("value stored in %s is never read", localName(p, in.A)),
+				})
+			}
+			live.clear(in.A)
+		case ir.LoadLocal:
+			live.set(in.A)
+		case ir.Recv:
+			pat := p.Ports[in.B].Pat
+			for _, slot := range patBindSlots(pat, nil) {
+				live.clear(slot)
+			}
+			for _, slot := range patReadSlots(pat, nil) {
+				live.set(slot)
+			}
+		case ir.Alt:
+			for j := range p.Alts[in.A].Arms {
+				arm := &p.Alts[in.A].Arms[j]
+				if arm.GuardSlot >= 0 {
+					live.set(arm.GuardSlot)
+				}
+				for _, slot := range patReadSlots(armPat(p, arm), nil) {
+					live.set(slot)
+				}
+			}
+		}
+	}
+	return live
+}

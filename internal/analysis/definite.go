@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+
+	"esplang/internal/ir"
+)
+
+// analyzeDefinite reports reads of locals that are not definitely
+// assigned at the read (ESPV001): a forward must-analysis whose state is
+// the set of assigned slots and whose join is intersection.
+//
+// The checker forces every declaration to carry an initializer, so plain
+// expression reads are always preceded by a store; the check still
+// guards that compiler invariant, and catches the one construct that
+// slips past it in legal source — a receive pattern whose
+// dynamic-equality test reads a binding declared in the same pattern,
+// in(c, {$v, v}): match() consults locals[v] before anything was ever
+// bound to it, so the comparison is against an arbitrary initial value.
+func analyzeDefinite(prog *ir.Program, p *ir.Proc, g *cfg, r *reporter) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	lat := lattice[bitset]{
+		bottom: func() bitset { return nil },
+		join: func(a, b bitset) (bitset, bool) {
+			return a, a.intersectInto(b)
+		},
+	}
+	transfer := func(bi int, in bitset) []bitset {
+		out := defFlowBlock(p, g, bi, in, nil)
+		b := &g.blocks[bi]
+		outs := make([]bitset, len(b.succs))
+		for i, e := range b.succs {
+			s := out.clone()
+			for _, slot := range patBindSlots(armPat(p, e.arm), nil) {
+				s.set(slot)
+			}
+			outs[i] = s
+		}
+		return outs
+	}
+	in := forwardFixpoint(g, lat, newBitset(p.NumLocals), transfer)
+	for bi := range g.blocks {
+		if g.reachable[bi] && in[bi] != nil {
+			defFlowBlock(p, g, bi, in[bi], r)
+		}
+	}
+}
+
+// defFlowBlock applies block bi's instructions to the assigned-slot set
+// and returns the out-state. With a non-nil reporter it emits a finding
+// for every read of an unassigned slot (marking the slot assigned
+// afterwards, so one bad slot reports once, not at every later use).
+func defFlowBlock(p *ir.Proc, g *cfg, bi int, in bitset, r *reporter) bitset {
+	st := in.clone()
+	read := func(slot int, pos ir.Instr, what string) {
+		if st.get(slot) {
+			return
+		}
+		if r != nil {
+			r.report(&Finding{
+				Check: CheckUninit,
+				Proc:  p.Name,
+				Pos:   pos.Pos,
+				Msg:   fmt.Sprintf("%s %s before it is assigned", what, localName(p, slot)),
+			})
+		}
+		st.set(slot)
+	}
+	b := &g.blocks[bi]
+	for pc := b.start; pc < b.end; pc++ {
+		in := p.Code[pc]
+		switch in.Op {
+		case ir.LoadLocal:
+			read(in.A, in, "read of variable")
+		case ir.StoreLocal:
+			st.set(in.A)
+		case ir.Recv:
+			pat := p.Ports[in.B].Pat
+			for _, slot := range patReadSlots(pat, nil) {
+				read(slot, in, "receive pattern reads")
+			}
+			for _, slot := range patBindSlots(pat, nil) {
+				st.set(slot)
+			}
+		case ir.Alt:
+			for j := range p.Alts[in.A].Arms {
+				arm := &p.Alts[in.A].Arms[j]
+				if arm.GuardSlot >= 0 {
+					read(arm.GuardSlot, ir.Instr{Pos: arm.Pos}, "alt guard reads")
+				}
+				for _, slot := range patReadSlots(armPat(p, arm), nil) {
+					read(slot, ir.Instr{Pos: arm.Pos}, "receive pattern reads")
+				}
+			}
+			// Arm bindings are edge effects, applied by the caller.
+		}
+	}
+	return st
+}

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"fmt"
+
+	"esplang/internal/diag"
+	"esplang/internal/ir"
+	"esplang/internal/token"
+)
+
+// Ownership analysis (ESPV002 leak, ESPV003 use-after-free, ESPV004
+// double-free).
+//
+// Each reference-typed local carries the §4.4 obligation model: storing
+// a fresh allocation (or binding a received value) makes the slot OWN
+// one release obligation; unlink() discharges it (FREED); overwriting,
+// rebinding, or reaching process exit while still OWNED loses the last
+// tracked reference — a leak. Anything the per-slot model cannot follow
+// (aliasing stores, manual link(), merges of incompatible states)
+// demotes the slot to untracked rather than guessing, so use-after-free
+// and double-free findings are must-facts along every tracked path.
+//
+// Leaks are may-facts: a slot that is OWNED on one path into a merge
+// stays OWNED (lost references on a feasible path are real bugs, and the
+// receive-in-a-loop leak — the second iteration rebinding over the first
+// iteration's object — only exists on the back edge). Use-after-free
+// and double-free keep the strict join (FREED merged with anything else
+// is untracked), so they never fire on a path that may not have freed.
+//
+// Within a block the operand stack is modeled abstractly: a value is a
+// fresh allocation (with its site), the contents of a local, or opaque.
+// Block boundaries collapse the stack to opaque values — obligations
+// simply stop being tracked, which can miss a leak but never invents
+// one.
+
+// ownKind is a slot's ownership state.
+type ownKind uint8
+
+const (
+	ownNone  ownKind = iota // holds no tracked object (initial state)
+	ownOwned                // holds one release obligation
+	ownFreed                // obligation discharged; object may be gone
+	ownTop                  // untracked (alias, manual link, merge conflict)
+)
+
+// slotState is the per-slot lattice element.
+type slotState struct {
+	kind     ownKind
+	acqPos   token.Pos // ownOwned/ownFreed: where the obligation was acquired
+	acqBound bool      // acquired by a receive binding, not an allocation
+	freePos  token.Pos // ownFreed: where it was released
+	sentPos  token.Pos // last send of the slot's value, if any
+}
+
+type ownState []slotState
+
+func (s ownState) clone() ownState {
+	c := make(ownState, len(s))
+	copy(c, s)
+	return c
+}
+
+// mergeSlot joins two slot states (see the lattice notes above).
+func mergeSlot(a, b slotState) slotState {
+	if a == b {
+		return a
+	}
+	switch {
+	case a.kind == b.kind:
+		// Same kind, different sites (two allocation branches): keep the
+		// first-seen sites, drop a disagreeing send site.
+		if a.sentPos != b.sentPos {
+			a.sentPos = token.Pos{}
+		}
+		return a
+	case a.kind == ownNone && b.kind == ownOwned:
+		return b
+	case a.kind == ownOwned && b.kind == ownNone:
+		return a
+	}
+	return slotState{kind: ownTop}
+}
+
+// analyzeOwnership runs the ownership analysis over one process.
+func analyzeOwnership(prog *ir.Program, p *ir.Proc, g *cfg, r *reporter) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	refSlot := func(s int) bool {
+		return s >= 0 && s < len(p.LocalType) && p.LocalType[s] != nil && p.LocalType[s].IsRef()
+	}
+	if !anyRefSlot(p, refSlot) {
+		return
+	}
+	lat := lattice[ownState]{
+		bottom: func() ownState { return nil },
+		join: func(a, b ownState) (ownState, bool) {
+			changed := false
+			for i := range a {
+				if m := mergeSlot(a[i], b[i]); m != a[i] {
+					a[i] = m
+					changed = true
+				}
+			}
+			return a, changed
+		},
+	}
+	o := &ownFlow{prog: prog, p: p, g: g, refSlot: refSlot}
+	transfer := func(bi int, in ownState) []ownState {
+		out := o.block(bi, in, nil)
+		b := &g.blocks[bi]
+		outs := make([]ownState, len(b.succs))
+		for i, e := range b.succs {
+			s := out.clone()
+			o.bindPattern(s, armPat(p, e.arm), p.Code[b.end-1].Pos, nil)
+			outs[i] = s
+		}
+		return outs
+	}
+	in := forwardFixpoint(g, lat, make(ownState, p.NumLocals), transfer)
+	for bi := range g.blocks {
+		if g.reachable[bi] && in[bi] != nil {
+			out := o.block(bi, in[bi], r)
+			// Arm-binding rebind leaks are edge effects; report them from
+			// the Alt block's out-state.
+			for _, e := range g.blocks[bi].succs {
+				if e.arm != nil {
+					s := out.clone()
+					o.bindPattern(s, armPat(p, e.arm), e.arm.Pos, r)
+				}
+			}
+		}
+	}
+}
+
+func anyRefSlot(p *ir.Proc, refSlot func(int) bool) bool {
+	for s := 0; s < p.NumLocals; s++ {
+		if refSlot(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// absVal is one abstract operand-stack value.
+type absVal struct {
+	kind uint8 // aOther, aLocal, aFresh
+	slot int
+	pos  token.Pos // aFresh: allocation site
+}
+
+const (
+	aOther uint8 = iota
+	aLocal
+	aFresh
+)
+
+// ownFlow simulates blocks for the ownership analysis.
+type ownFlow struct {
+	prog    *ir.Program
+	p       *ir.Proc
+	g       *cfg
+	refSlot func(int) bool
+}
+
+// block applies block bi's instructions to the slot states, reporting
+// findings when r is non-nil, and returns the out-state.
+func (o *ownFlow) block(bi int, in ownState, r *reporter) ownState {
+	p := o.p
+	st := in.clone()
+	b := &o.g.blocks[bi]
+	stack := make([]absVal, 0, p.MaxStack)
+	for i := 0; i < o.g.depth[b.start]; i++ {
+		stack = append(stack, absVal{kind: aOther})
+	}
+	pop := func() absVal {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v absVal) { stack = append(stack, v) }
+	// use consumes one abstract value. Loading a freed slot is silent
+	// (the load feeding unlink(x) is part of the release, not a use);
+	// the instruction that consumes the value decides: Unlink reports
+	// double-free, every other consumer reports use-after-free here.
+	use := func(v absVal, pos token.Pos, what string) {
+		if v.kind == aLocal && st[v.slot].kind == ownFreed {
+			o.useAfterFree(r, v.slot, pos, st[v.slot], what)
+			st[v.slot] = slotState{kind: ownTop}
+		}
+	}
+	popUse := func(n int, pos token.Pos) {
+		for i := 0; i < n; i++ {
+			use(pop(), pos, "use")
+		}
+	}
+
+	for pc := b.start; pc < b.end; pc++ {
+		in := p.Code[pc]
+		switch in.Op {
+		case ir.LoadLocal:
+			if o.refSlot(in.A) {
+				push(absVal{kind: aLocal, slot: in.A})
+			} else {
+				push(absVal{kind: aOther})
+			}
+
+		case ir.StoreLocal:
+			v := pop()
+			use(v, in.Pos, "store")
+			if !o.refSlot(in.A) {
+				continue
+			}
+			if st[in.A].kind == ownOwned {
+				o.leak(r, in.A, in.Pos, st[in.A], "this store overwrites the last reference to the object in %s without releasing it")
+			}
+			switch v.kind {
+			case aFresh:
+				st[in.A] = slotState{kind: ownOwned, acqPos: v.pos}
+			case aLocal:
+				// Aliasing: two slots now share one object; the per-slot
+				// model stops tracking both.
+				st[in.A] = slotState{kind: ownTop}
+				if v.slot != in.A {
+					st[v.slot] = slotState{kind: ownTop}
+				}
+			default:
+				st[in.A] = slotState{kind: ownTop}
+			}
+
+		case ir.Unlink:
+			v := pop()
+			if v.kind != aLocal {
+				continue // releasing a fresh temporary is balanced
+			}
+			s := v.slot
+			switch st[s].kind {
+			case ownOwned:
+				fs := st[s]
+				fs.kind = ownFreed
+				fs.freePos = in.Pos
+				st[s] = fs
+			case ownFreed:
+				if r != nil {
+					r.report(&Finding{
+						Check: CheckDoubleFree,
+						Proc:  p.Name,
+						Pos:   in.Pos,
+						Msg:   fmt.Sprintf("%s is released twice", localName(p, s)),
+						Notes: o.notes(st[s], in.Pos, diag.Note{Pos: st[s].freePos, Msg: "first released here"}),
+					})
+				}
+				st[s] = slotState{kind: ownTop}
+			}
+
+		case ir.Link:
+			v := pop()
+			use(v, in.Pos, "link")
+			if v.kind == aLocal {
+				// Manual reference counting is beyond the one-obligation
+				// model; stop tracking the slot.
+				st[v.slot] = slotState{kind: ownTop}
+			}
+
+		case ir.Send, ir.SendCommit:
+			v := pop()
+			use(v, in.Pos, "send")
+			if v.kind == aLocal && o.refSlot(v.slot) && st[v.slot].kind == ownOwned {
+				fs := st[v.slot]
+				fs.sentPos = in.Pos
+				st[v.slot] = fs
+			}
+
+		case ir.Recv:
+			o.bindPattern(st, p.Ports[in.B].Pat, in.Pos, r)
+
+		case ir.NewRecord:
+			popUse(in.B, in.Pos)
+			push(absVal{kind: aFresh, pos: in.Pos})
+		case ir.NewUnion:
+			popUse(1, in.Pos)
+			push(absVal{kind: aFresh, pos: in.Pos})
+		case ir.NewArray:
+			popUse(2, in.Pos)
+			push(absVal{kind: aFresh, pos: in.Pos})
+		case ir.CastCopy:
+			popUse(1, in.Pos)
+			push(absVal{kind: aFresh, pos: in.Pos})
+		case ir.CastReuse:
+			v := pop()
+			push(v)
+
+		case ir.Dup:
+			top := stack[len(stack)-1]
+			if top.kind == aFresh {
+				// Two handles to one obligation: stop tracking it.
+				stack[len(stack)-1] = absVal{kind: aOther}
+				top = absVal{kind: aOther}
+			}
+			push(top)
+
+		case ir.Halt:
+			if r != nil {
+				for s := 0; s < p.NumLocals; s++ {
+					if o.refSlot(s) && st[s].kind == ownOwned {
+						o.exitLeak(r, s, st[s])
+					}
+				}
+			}
+
+		default:
+			popUse(ir.StackIn(in), in.Pos)
+			for i := 0; i < ir.StackIn(in)+ir.StackEffect(in); i++ {
+				push(absVal{kind: aOther})
+			}
+		}
+	}
+	return st
+}
+
+// bindPattern applies a receive pattern's binding effects: binding a
+// reference component makes the slot owned (the receiver took the
+// transfer's reference and must release it); rebinding a slot that is
+// still owned loses its previous object.
+func (o *ownFlow) bindPattern(st ownState, pat *ir.Pat, pos token.Pos, r *reporter) {
+	if pat == nil {
+		return
+	}
+	for _, s := range patBindSlots(pat, nil) {
+		if !o.refSlot(s) {
+			continue
+		}
+		if st[s].kind == ownOwned {
+			o.leak(r, s, pos, st[s], "this receive rebinds %s, losing the last reference to the object it already held")
+		}
+		st[s] = slotState{kind: ownOwned, acqPos: pos, acqBound: true}
+	}
+}
+
+// notes builds the secondary spans of a finding: any extra notes first,
+// then the send and acquisition sites. Notes that would point at the
+// finding's own position (a rebind IS the acquisition) are dropped.
+func (o *ownFlow) notes(s slotState, primary token.Pos, extra ...diag.Note) []diag.Note {
+	var notes []diag.Note
+	for _, n := range extra {
+		if n.Pos != primary {
+			notes = append(notes, n)
+		}
+	}
+	if s.sentPos.IsValid() && s.sentPos != primary {
+		notes = append(notes, diag.Note{Pos: s.sentPos, Msg: "sent here"})
+	}
+	if s.acqPos.IsValid() && s.acqPos != primary {
+		msg := "allocated here"
+		if s.acqBound {
+			msg = "bound here"
+		}
+		notes = append(notes, diag.Note{Pos: s.acqPos, Msg: msg})
+	}
+	return notes
+}
+
+func (o *ownFlow) useAfterFree(r *reporter, slot int, pos token.Pos, s slotState, what string) {
+	if r == nil {
+		return
+	}
+	r.report(&Finding{
+		Check: CheckUseAfterFree,
+		Proc:  o.p.Name,
+		Pos:   pos,
+		Msg:   fmt.Sprintf("%s of %s after its reference was released", what, localName(o.p, slot)),
+		Notes: o.notes(s, pos, diag.Note{Pos: s.freePos, Msg: "released here"}),
+	})
+}
+
+func (o *ownFlow) leak(r *reporter, slot int, pos token.Pos, s slotState, format string) {
+	if r == nil {
+		return
+	}
+	r.report(&Finding{
+		Check: CheckLeak,
+		Proc:  o.p.Name,
+		Pos:   pos,
+		Msg:   fmt.Sprintf(format, localName(o.p, slot)),
+		Notes: o.notes(s, pos),
+	})
+}
+
+func (o *ownFlow) exitLeak(r *reporter, slot int, s slotState) {
+	pos := s.acqPos
+	acq := "allocated"
+	if s.acqBound {
+		acq = "bound"
+	}
+	var notes []diag.Note
+	if s.sentPos.IsValid() {
+		notes = append(notes, diag.Note{Pos: s.sentPos, Msg: "sent here (the send borrows the reference; it is not a release)"})
+	}
+	r.report(&Finding{
+		Check: CheckLeak,
+		Proc:  o.p.Name,
+		Pos:   pos,
+		Msg:   fmt.Sprintf("object %s here is never released before process %s exits", acq, o.p.Name),
+		Notes: notes,
+	})
+}

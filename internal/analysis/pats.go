@@ -1,0 +1,42 @@
+package analysis
+
+import "esplang/internal/ir"
+
+// patBindSlots appends the slots bound (assigned) by pat to dst.
+func patBindSlots(pat *ir.Pat, dst []int) []int {
+	if pat == nil {
+		return dst
+	}
+	if pat.Kind == ir.PatBind {
+		dst = append(dst, pat.Slot)
+	}
+	for _, e := range pat.Elems {
+		dst = patBindSlots(e, dst)
+	}
+	return dst
+}
+
+// patReadSlots appends the slots pat reads during matching — the
+// dynamic-equality tests, which compare the incoming value against the
+// local's current contents before any binding happens.
+func patReadSlots(pat *ir.Pat, dst []int) []int {
+	if pat == nil {
+		return dst
+	}
+	if pat.Kind == ir.PatDynEq {
+		dst = append(dst, pat.Slot)
+	}
+	for _, e := range pat.Elems {
+		dst = patReadSlots(e, dst)
+	}
+	return dst
+}
+
+// armPat returns the receive pattern of a non-send alt arm (nil for
+// send arms and non-arm edges).
+func armPat(p *ir.Proc, arm *ir.AltArm) *ir.Pat {
+	if arm == nil || arm.IsSend || arm.Port < 0 || arm.Port >= len(p.Ports) {
+		return nil
+	}
+	return p.Ports[arm.Port].Pat
+}

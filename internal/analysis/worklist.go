@@ -1,0 +1,173 @@
+package analysis
+
+// lattice describes one dataflow lattice over states of type S.
+//
+// Ownership convention: a transfer function must return one freshly
+// owned state per successor edge (the framework stores them as block
+// in-states), and join may mutate and return its first argument — it
+// owns it — but must only read the second.
+type lattice[S any] struct {
+	// bottom is the state of a block no flow has reached yet; the
+	// framework never joins into bottom (first contributions are stored
+	// directly).
+	bottom func() S
+	// join merges b into a and reports whether a changed.
+	join func(a, b S) (S, bool)
+}
+
+// forwardFixpoint runs a forward worklist fixpoint over the reachable
+// blocks of g and returns the fixed in-state of every block (bottom for
+// unreachable blocks).
+//
+// entry is the in-state of the entry block. transfer maps a block's
+// in-state to one out-state per successor edge, so edge effects — alt
+// arm bindings live on the Alt->arm edge, not in any instruction — apply
+// per edge. After the fixpoint the caller makes one reporting pass with
+// the final in-states, which keeps findings deterministic and emitted
+// exactly once.
+func forwardFixpoint[S any](g *cfg, lat lattice[S], entry S, transfer func(bi int, in S) []S) []S {
+	n := len(g.blocks)
+	in := make([]S, n)
+	visited := make([]bool, n)
+	for i := range in {
+		in[i] = lat.bottom()
+	}
+	if n == 0 {
+		return in
+	}
+	w := newWorklist(n)
+	e := g.blockOf[0]
+	in[e] = entry
+	visited[e] = true
+	w.push(e)
+	for {
+		bi, ok := w.pop()
+		if !ok {
+			return in
+		}
+		outs := transfer(bi, in[bi])
+		for si, edge := range g.blocks[bi].succs {
+			to := edge.to
+			if !visited[to] {
+				visited[to] = true
+				in[to] = outs[si]
+				w.push(to)
+				continue
+			}
+			if next, changed := lat.join(in[to], outs[si]); changed {
+				in[to] = next
+				w.push(to)
+			}
+		}
+	}
+}
+
+// backwardFixpoint runs a backward worklist fixpoint and returns the
+// fixed out-state of every block. transferBack maps a block's out-state
+// to its in-state; edgeBack applies a successor edge's effect to the
+// successor's in-state before it joins the source's out-state (a
+// receive arm's bindings kill liveness on that edge, for example).
+// Bottom is the out-state of exit blocks, so lat.bottom must be the
+// analysis's boundary state (empty liveness at process exit).
+func backwardFixpoint[S any](g *cfg, lat lattice[S], transferBack func(bi int, out S) S, edgeBack func(e edge, succIn S) S) []S {
+	n := len(g.blocks)
+	out := make([]S, n)
+	for i := range out {
+		out[i] = lat.bottom()
+	}
+	if n == 0 {
+		return out
+	}
+	preds := g.preds()
+	w := newWorklist(n)
+	// Seed every reachable block: backward analyses converge from the
+	// exits, but infinite server loops have no exit block at all.
+	for bi := n - 1; bi >= 0; bi-- {
+		if g.reachable[bi] {
+			w.push(bi)
+		}
+	}
+	for {
+		bi, ok := w.pop()
+		if !ok {
+			return out
+		}
+		blockIn := transferBack(bi, out[bi])
+		for _, pe := range preds[bi] {
+			contrib := edgeBack(pe.e, blockIn)
+			if next, changed := lat.join(out[pe.from], contrib); changed {
+				out[pe.from] = next
+				w.push(pe.from)
+			}
+		}
+	}
+}
+
+// worklist is a FIFO block queue with membership dedup.
+type worklist struct {
+	queue  []int
+	queued []bool
+}
+
+func newWorklist(n int) *worklist {
+	return &worklist{queued: make([]bool, n)}
+}
+
+func (w *worklist) push(bi int) {
+	if !w.queued[bi] {
+		w.queued[bi] = true
+		w.queue = append(w.queue, bi)
+	}
+}
+
+func (w *worklist) pop() (int, bool) {
+	if len(w.queue) == 0 {
+		return 0, false
+	}
+	bi := w.queue[0]
+	w.queue = w.queue[1:]
+	w.queued[bi] = false
+	return bi, true
+}
+
+// bitset is a fixed-size bit vector used as the definite-assignment and
+// liveness lattice element.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+
+// intersectInto ands o into b, reporting whether b changed.
+func (b bitset) intersectInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] & o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// unionInto ors o into b, reporting whether b changed.
+func (b bitset) unionInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}

@@ -128,8 +128,10 @@ type procCompiler struct {
 func (c *procCompiler) compile(pd *check.Process) {
 	c.proc.NumLocals = len(pd.Vars)
 	c.proc.LocalName = make([]string, len(pd.Vars))
+	c.proc.LocalType = make([]*types.Type, len(pd.Vars))
 	for i, v := range pd.Vars {
 		c.proc.LocalName[i] = v.Name
+		c.proc.LocalType[i] = v.Type
 	}
 	c.block(pd.Decl.Body)
 	c.emit(ir.Instr{Op: ir.Halt, Pos: pd.Decl.Pos()})
@@ -157,6 +159,7 @@ func (c *procCompiler) newTemp(name string) int {
 	slot := c.proc.NumLocals
 	c.proc.NumLocals++
 	c.proc.LocalName = append(c.proc.LocalName, name)
+	c.proc.LocalType = append(c.proc.LocalType, nil)
 	return slot
 }
 
@@ -409,7 +412,7 @@ func (c *procCompiler) altStmt(x *ast.Alt) {
 	var endJumps []int
 	arms := make([]ir.AltArm, len(x.Cases))
 	for i, cs := range x.Cases {
-		arm := ir.AltArm{GuardSlot: guardSlots[i], EvalPC: -1}
+		arm := ir.AltArm{GuardSlot: guardSlots[i], EvalPC: -1, Pos: cs.Comm.Pos()}
 		ch := c.info.CommChan[cs.Comm]
 		arm.Chan = ch.ID
 		if cs.Comm.Dir == ast.Send {

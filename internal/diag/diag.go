@@ -33,11 +33,23 @@ func (s Severity) String() string {
 	return "error"
 }
 
+// Note is a secondary span attached to a diagnostic: a supporting
+// location with its own caret excerpt ("allocated here", "sent here").
+type Note struct {
+	Pos token.Pos
+	Msg string
+}
+
 // Diagnostic is one positioned compiler message.
 type Diagnostic struct {
 	Pos      token.Pos
 	Msg      string
 	Severity Severity
+	// Notes are secondary spans rendered after the primary caret, each
+	// with its own excerpt. The static analyses use them to point at the
+	// allocation or transfer site that a finding's primary span refers
+	// back to.
+	Notes []Note
 }
 
 // Error implements error with the historical "line:col: msg" format.
@@ -79,23 +91,40 @@ func (l List) Err() error {
 //	                   ^
 //
 // file may be empty (the location prints as line:col) and src may be
-// empty (the excerpt is omitted).
+// empty (the excerpt is omitted). Secondary Notes follow the primary
+// span, each rendered the same way with a "note" severity label:
+//
+//	file.esp:9:5: error: object in d leaks: sent or overwritten [ESPV002]
+//	    d = { 1 -> n };
+//	    ^
+//	file.esp:7:9: note: allocated here
+//	    $d: dataT = { 2 -> n };
+//	        ^
 func Render(d *Diagnostic, file, src string) string {
 	var b strings.Builder
-	if file != "" {
-		fmt.Fprintf(&b, "%s:", file)
+	renderSpan(&b, file, src, d.Pos, d.Severity.String(), d.Msg)
+	for _, n := range d.Notes {
+		b.WriteByte('\n')
+		renderSpan(&b, file, src, n.Pos, "note", n.Msg)
 	}
-	fmt.Fprintf(&b, "%s: %s: %s", d.Pos, d.Severity, d.Msg)
-	if src != "" && d.Pos.IsValid() {
-		if line, ok := sourceLine(src, d.Pos.Line); ok {
+	return b.String()
+}
+
+// renderSpan writes one location-labeled message with its caret excerpt.
+func renderSpan(b *strings.Builder, file, src string, pos token.Pos, label, msg string) {
+	if file != "" {
+		fmt.Fprintf(b, "%s:", file)
+	}
+	fmt.Fprintf(b, "%s: %s: %s", pos, label, msg)
+	if src != "" && pos.IsValid() {
+		if line, ok := sourceLine(src, pos.Line); ok {
 			b.WriteByte('\n')
 			b.WriteString(expandTabs(line))
 			b.WriteByte('\n')
-			b.WriteString(caretPad(line, d.Pos.Column))
+			b.WriteString(caretPad(line, pos.Column))
 			b.WriteByte('^')
 		}
 	}
-	return b.String()
 }
 
 // RenderError renders any error produced by the compiler front end: a

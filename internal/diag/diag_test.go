@@ -83,3 +83,48 @@ func TestRenderInvalidPosNoExcerpt(t *testing.T) {
 		t.Errorf("excerpt emitted for invalid pos:\n%s", got)
 	}
 }
+
+func TestRenderNotes(t *testing.T) {
+	src := "process p {\n    $d = alloc();\n    unlink( d);\n    unlink( d);\n}\n"
+	d := &diag.Diagnostic{
+		Pos:      token.Pos{Line: 4, Column: 5},
+		Msg:      "d is released twice",
+		Severity: diag.Warning,
+		Notes: []diag.Note{
+			{Pos: token.Pos{Line: 3, Column: 5}, Msg: "first released here"},
+			{Pos: token.Pos{Line: 2, Column: 10}, Msg: "allocated here"},
+		},
+	}
+	got := diag.Render(d, "t.esp", src)
+	want := strings.Join([]string{
+		"t.esp:4:5: warning: d is released twice",
+		"    unlink( d);",
+		"    ^",
+		"t.esp:3:5: note: first released here",
+		"    unlink( d);",
+		"    ^",
+		"t.esp:2:10: note: allocated here",
+		"    $d = alloc();",
+		"         ^",
+	}, "\n")
+	if got != want {
+		t.Errorf("Render with notes:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestRenderNoteOutOfRange(t *testing.T) {
+	// A note pointing past the source (e.g. a synthesized position) must
+	// not panic and must still print its header line.
+	src := "one line\n"
+	d := &diag.Diagnostic{
+		Pos:      token.Pos{Line: 1, Column: 1},
+		Msg:      "primary",
+		Severity: diag.Warning,
+		Notes:    []diag.Note{{Pos: token.Pos{Line: 99, Column: 1}, Msg: "elsewhere"}},
+	}
+	got := diag.Render(d, "t.esp", src)
+	if !strings.Contains(got, "t.esp:1:1: warning: primary") ||
+		!strings.Contains(got, "t.esp:99:1: note: elsewhere") {
+		t.Errorf("missing spans:\n%s", got)
+	}
+}

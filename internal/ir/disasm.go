@@ -74,6 +74,113 @@ func FormatInstr(p *Proc, in Instr) string {
 	}
 }
 
+// DisasmFused renders a process's fused translation as human-readable
+// assembly, one superinstruction per line, prefixed by the fused index
+// and the base-pc range it covers. It is the fused-engine counterpart of
+// Disasm, so -dump-ir stays usable after fusion.
+func DisasmFused(p *Proc, fp *FusedProc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "process %s (fused: %d instrs over %d base)\n", p.Name, len(fp.Code), len(p.Code))
+	for i, in := range fp.Code {
+		fmt.Fprintf(&b, "%4d  [%d", i, in.Base)
+		if in.N > 1 {
+			fmt.Fprintf(&b, "-%d", int(in.Base)+int(in.N)-1)
+		}
+		fmt.Fprintf(&b, "]\t%s\n", FormatFInstr(p, in))
+	}
+	return b.String()
+}
+
+// FormatFInstr renders one fused instruction.
+func FormatFInstr(p *Proc, in FInstr) string {
+	name := func(slot int32) string {
+		if p != nil && slot >= 0 && int(slot) < len(p.LocalName) && p.LocalName[slot] != "" {
+			return fmt.Sprintf("%d(%s)", slot, p.LocalName[slot])
+		}
+		return fmt.Sprintf("%d", slot)
+	}
+	typeName := func() string {
+		if in.Type != nil {
+			return in.Type.String()
+		}
+		return "?"
+	}
+	sense := func() string {
+		if in.Sense {
+			return "true"
+		}
+		return "false"
+	}
+	switch in.Op {
+	case FConst:
+		return fmt.Sprintf("fconst %d", in.Val)
+	case FLoad, FStore:
+		return fmt.Sprintf("%s %s", in.Op, name(in.A))
+	case FJump, FJumpFalse, FJumpTrue:
+		return fmt.Sprintf("%s -> %d", in.Op, in.A)
+	case FNewRecord:
+		return fmt.Sprintf("fnewrecord type=%s n=%d absorb=%b", typeName(), in.B, in.Val)
+	case FNewUnion:
+		return fmt.Sprintf("fnewunion type=%s tag=%d absorb=%b", typeName(), in.B, in.Val)
+	case FNewArray:
+		return fmt.Sprintf("fnewarray type=%s", typeName())
+	case FGetField, FSetField:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case FUnionGet:
+		return fmt.Sprintf("funionget tag=%d", in.A)
+	case FCastCopy, FCastReuse:
+		return fmt.Sprintf("%s type=%s", in.Op, typeName())
+	case FAssert:
+		return fmt.Sprintf("fassert #%d", in.A)
+	case FSend, FSendCommit:
+		s := fmt.Sprintf("%s chan=%d", in.Op, in.A)
+		if in.B&FlagFreeAfter != 0 {
+			s += " freeafter"
+		}
+		return s
+	case FRecv:
+		return fmt.Sprintf("frecv chan=%d port=%d", in.A, in.B)
+	case FAlt:
+		return fmt.Sprintf("falt #%d", in.A)
+	case FIncrLocal:
+		return fmt.Sprintf("fincrlocal %s += %d", name(in.A), in.Val)
+	case FLCCmpBr:
+		return fmt.Sprintf("flccmpbr %s %s %d ? jump(%s) -> %d", name(in.A), in.Sub, in.Val, sense(), in.B)
+	case FLLCmpBr:
+		return fmt.Sprintf("fllcmpbr %s %s %s ? jump(%s) -> %d", name(in.A), in.Sub, name(in.C), sense(), in.B)
+	case FCmpBr:
+		return fmt.Sprintf("fcmpbr %s ? jump(%s) -> %d", in.Sub, sense(), in.B)
+	case FLCBin:
+		return fmt.Sprintf("flcbin %s %s %d", name(in.A), in.Sub, in.Val)
+	case FLLBin:
+		return fmt.Sprintf("fllbin %s %s %s", name(in.A), in.Sub, name(in.C))
+	case FLCBinSt:
+		return fmt.Sprintf("flcbinst %s = %s %s %d", name(in.B), name(in.A), in.Sub, in.Val)
+	case FLLBinSt:
+		return fmt.Sprintf("fllbinst %s = %s %s %s", name(in.B), name(in.A), in.Sub, name(in.C))
+	case FConstSt:
+		return fmt.Sprintf("fconstst %s = %d", name(in.B), in.Val)
+	case FMove:
+		return fmt.Sprintf("fmove %s = %s", name(in.B), name(in.A))
+	case FLoadField:
+		return fmt.Sprintf("floadfield %s.%d", name(in.A), in.B)
+	case FLoadSend:
+		s := fmt.Sprintf("floadsend %s chan=%d", name(in.A), in.B)
+		if in.C&FlagFreeAfter != 0 {
+			s += " freeafter"
+		}
+		return s
+	case FConstSend:
+		s := fmt.Sprintf("fconstsend %d chan=%d", in.Val, in.B)
+		if in.C&FlagFreeAfter != 0 {
+			s += " freeafter"
+		}
+		return s
+	default:
+		return in.Op.String()
+	}
+}
+
 // FormatPat renders a runtime pattern.
 func FormatPat(p *Pat) string {
 	var b strings.Builder

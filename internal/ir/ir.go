@@ -183,6 +183,9 @@ type AltArm struct {
 	// match, so union-literal out arms dispatch correctly even though the
 	// value is only evaluated after the rendezvous commits (§6.1).
 	OutPat *Pat
+	// Pos locates the arm's in/out clause in the source, for per-arm
+	// diagnostics from the static analyses.
+	Pos token.Pos
 }
 
 // AltDef is a compiled alt statement.
@@ -207,6 +210,10 @@ type Proc struct {
 	Ports     []Port
 	Alts      []AltDef
 	LocalName []string // slot -> source name ("" for compiler temps)
+	// LocalType records the declared type of each source-level local
+	// (nil for compiler temps, which only ever hold scalars). The static
+	// analyses use it to restrict ownership tracking to reference slots.
+	LocalType []*types.Type
 }
 
 // ExtDir mirrors ast.ExtDir without importing the ast package downstream.

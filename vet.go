@@ -1,0 +1,101 @@
+package esplang
+
+import (
+	"fmt"
+	"strings"
+
+	"esplang/internal/analysis"
+	"esplang/internal/diag"
+	"esplang/internal/mc"
+	"esplang/internal/vm"
+)
+
+// Re-exported espvet types.
+type (
+	// Finding is one espvet static-analysis report (see internal/analysis).
+	Finding = analysis.Finding
+	// VetCheck identifies one espvet check (ID, name, one-line doc).
+	VetCheck = analysis.Check
+)
+
+// VetChecks lists every espvet check in ID order.
+var VetChecks = analysis.Checks
+
+// RenderFinding formats a finding as a caret-marked warning excerpt,
+// including its secondary spans ("allocated here", "released here").
+func (p *Program) RenderFinding(f *Finding) string {
+	return diag.Render(f.Diagnostic(), p.File, p.Source)
+}
+
+// RenderFindings renders every finding, separated by blank lines, with a
+// trailing summary count. Returns "" when the program is clean.
+func (p *Program) RenderFindings() string {
+	if len(p.Findings) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, f := range p.Findings {
+		b.WriteString(p.RenderFinding(f))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d finding(s)\n", len(p.Findings))
+	return b.String()
+}
+
+// ConfirmFinding matches a model-checker violation against the
+// program's static findings: the finding the counterexample dynamically
+// confirms, or nil when the violation is news to the static analyses.
+//
+// A fault confirms the matching memory-safety check — use-after-free
+// (ESPV003), double-free (ESPV004), or object-table exhaustion, the
+// checker's leak signal (ESPV002) — preferring a finding in the
+// faulting process. A deadlock confirms a channel-protocol finding
+// (ESPV010/011/012) or an uninitialized pattern read (ESPV001), whose
+// never-matching receive strands its sender.
+func (p *Program) ConfirmFinding(v *mc.Violation) *Finding {
+	if v == nil {
+		return nil
+	}
+	if v.Fault != nil {
+		var want analysis.Check
+		switch v.Fault.Kind {
+		case vm.FaultUseAfterFree:
+			want = analysis.CheckUseAfterFree
+		case vm.FaultDoubleFree:
+			want = analysis.CheckDoubleFree
+		case vm.FaultOutOfObjects:
+			want = analysis.CheckLeak
+		default:
+			return nil
+		}
+		// Prefer the faulting process; exhaustion can fault in whichever
+		// process allocates one past the bound, so fall back to any
+		// process's finding of the right kind.
+		var fallback *Finding
+		for _, f := range p.Findings {
+			if f.Check != want {
+				continue
+			}
+			if f.Proc == v.Fault.Proc {
+				return f
+			}
+			if fallback == nil {
+				fallback = f
+			}
+		}
+		return fallback
+	}
+	if v.Deadlock {
+		for _, want := range []analysis.Check{
+			analysis.CheckOrphanChan, analysis.CheckSelfRendezvous,
+			analysis.CheckDeadAltArm, analysis.CheckUninit,
+		} {
+			for _, f := range p.Findings {
+				if f.Check == want {
+					return f
+				}
+			}
+		}
+	}
+	return nil
+}
