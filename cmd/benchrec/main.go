@@ -1,11 +1,11 @@
 // Command benchrec records the PR's headline benchmarks — the Figure 5
-// firmware workloads and the §5.3 verification runs — under both
+// firmware workloads and the §5.3 verification runs — under all three
 // execution engines and writes the numbers (ns/op, allocs/op, verifier
-// states and states/sec, and the fused-over-baseline speedups) to a JSON
-// file, so performance claims are checked in, reproducible, and easy to
-// diff across commits:
+// states and states/sec, and the cross-engine speedups) to a JSON file,
+// so performance claims are checked in, reproducible, and easy to diff
+// across commits:
 //
-//	go run ./cmd/benchrec -out BENCH_PR4.json
+//	go run ./cmd/benchrec -out BENCH_PR6.json
 package main
 
 import (
@@ -33,19 +33,22 @@ type Bench struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR4.json. Speedups compares the
-// two engines inside this build; SeedBenches/SpeedupsVsSeed (present
-// when scripts/bench.sh was given a -seed ref) compares the fused build
-// against the repo's own `go test -bench` numbers at the pre-PR commit,
-// run on the same machine.
+// Report is the file layout of BENCH_PR6.json. The speedup maps compare
+// the engines inside this build (fused over baseline, and process-fused
+// over fused — the PR6 headline); SeedBenches and the vs-seed maps
+// (present when scripts/bench.sh was given a -seed ref) compare this
+// build against the repo's own `go test -bench` numbers at the pre-PR
+// commit, run on the same machine.
 type Report struct {
 	GOOS           string             `json:"goos"`
 	GOARCH         string             `json:"goarch"`
 	NumCPU         int                `json:"num_cpu"`
 	Benches        []Bench            `json:"benchmarks"`
 	Speedups       map[string]float64 `json:"speedups_fused_over_baseline"`
+	SpeedupsPF     map[string]float64 `json:"speedups_procfused_over_fused"`
 	SeedBenches    []Bench            `json:"seed_benchmarks,omitempty"`
 	SpeedupsVsSeed map[string]float64 `json:"speedups_fused_over_seed,omitempty"`
+	SpeedupsPFSeed map[string]float64 `json:"speedups_procfused_over_seed,omitempty"`
 }
 
 // seedNames maps the pre-PR repo benchmark names (as printed by `go test
@@ -158,7 +161,7 @@ var workloads = []workload{
 		cfg := nic.DefaultConfig()
 		var last float64
 		for i := 0; i < b.N; i++ {
-			v, err := vmmc.PingPong(vmmc.ESP, cfg, 64, 10)
+			v, err := vmmc.PingPong(vmmc.ESP, cfg, 64, 40)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -170,7 +173,7 @@ var workloads = []workload{
 		cfg := nic.DefaultConfig()
 		var last float64
 		for i := 0; i < b.N; i++ {
-			v, err := vmmc.PingPong(vmmc.ESP, cfg, 4096, 10)
+			v, err := vmmc.PingPong(vmmc.ESP, cfg, 4096, 40)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -279,20 +282,39 @@ func record(name string, engine esplang.Engine, repeat int) Bench {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	repeat := flag.Int("repeat", 5, "runs per benchmark; the fastest is recorded")
 	seedBench := flag.String("seed-bench", "", "optional `go test -bench` output from the pre-PR commit to compare against")
+	engineList := flag.String("engines", "baseline,fused,procfused",
+		"comma-separated engine tiers to record (the fusion axis)")
 	flag.Parse()
 
+	var engines []esplang.Engine
+	for _, name := range strings.Split(*engineList, ",") {
+		switch strings.TrimSpace(name) {
+		case "baseline":
+			engines = append(engines, esplang.EngineBaseline)
+		case "fused":
+			engines = append(engines, esplang.EngineFused)
+		case "procfused":
+			engines = append(engines, esplang.EngineProcFused)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "benchrec: unknown engine %q (want baseline, fused, procfused)\n", name)
+			os.Exit(1)
+		}
+	}
+
 	rep := Report{
-		GOOS:     runtime.GOOS,
-		GOARCH:   runtime.GOARCH,
-		NumCPU:   runtime.NumCPU(),
-		Speedups: map[string]float64{},
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Speedups:   map[string]float64{},
+		SpeedupsPF: map[string]float64{},
 	}
 	byKey := map[string]Bench{}
 	for _, wl := range workloads {
-		for _, engine := range []esplang.Engine{esplang.EngineBaseline, esplang.EngineFused} {
+		for _, engine := range engines {
 			rec := record(wl.name, engine, *repeat)
 			rep.Benches = append(rep.Benches, rec)
 			byKey[rec.Name+"/"+rec.Engine] = rec
@@ -305,11 +327,18 @@ func main() {
 	}
 	for _, wl := range workloads {
 		base, fused := byKey[wl.name+"/baseline"], byKey[wl.name+"/fused"]
+		pfused := byKey[wl.name+"/procfused"]
 		if base.NsPerOp > 0 && fused.NsPerOp > 0 {
 			rep.Speedups[wl.name] = base.NsPerOp / fused.NsPerOp
 		}
 		if bs, fs := base.Metrics["states/sec"], fused.Metrics["states/sec"]; bs > 0 {
 			rep.Speedups[wl.name+"/states-per-sec"] = fs / bs
+		}
+		if fused.NsPerOp > 0 && pfused.NsPerOp > 0 {
+			rep.SpeedupsPF[wl.name] = fused.NsPerOp / pfused.NsPerOp
+		}
+		if fs, ps := fused.Metrics["states/sec"], pfused.Metrics["states/sec"]; fs > 0 {
+			rep.SpeedupsPF[wl.name+"/states-per-sec"] = ps / fs
 		}
 	}
 	if *seedBench != "" {
@@ -320,22 +349,35 @@ func main() {
 		}
 		rep.SeedBenches = seeds
 		rep.SpeedupsVsSeed = map[string]float64{}
+		rep.SpeedupsPFSeed = map[string]float64{}
 		for _, s := range seeds {
 			fused, ok := byKey[s.Name+"/fused"]
-			if !ok || s.NsPerOp <= 0 || fused.NsPerOp <= 0 {
-				continue
+			if ok && s.NsPerOp > 0 && fused.NsPerOp > 0 {
+				rep.SpeedupsVsSeed[s.Name] = s.NsPerOp / fused.NsPerOp
+				if ss, fs := s.Metrics["states/sec"], fused.Metrics["states/sec"]; ss > 0 {
+					rep.SpeedupsVsSeed[s.Name+"/states-per-sec"] = fs / ss
+				}
 			}
-			rep.SpeedupsVsSeed[s.Name] = s.NsPerOp / fused.NsPerOp
-			if ss, fs := s.Metrics["states/sec"], fused.Metrics["states/sec"]; ss > 0 {
-				rep.SpeedupsVsSeed[s.Name+"/states-per-sec"] = fs / ss
+			pfused, ok := byKey[s.Name+"/procfused"]
+			if ok && s.NsPerOp > 0 && pfused.NsPerOp > 0 {
+				rep.SpeedupsPFSeed[s.Name] = s.NsPerOp / pfused.NsPerOp
+				if ss, ps := s.Metrics["states/sec"], pfused.Metrics["states/sec"]; ss > 0 {
+					rep.SpeedupsPFSeed[s.Name+"/states-per-sec"] = ps / ss
+				}
 			}
 		}
 		for k, v := range rep.SpeedupsVsSeed {
 			fmt.Printf("speedup-vs-seed %-32s %.2fx\n", k, v)
 		}
+		for k, v := range rep.SpeedupsPFSeed {
+			fmt.Printf("speedup-procfused-vs-seed %-32s %.2fx\n", k, v)
+		}
 	}
 	for k, v := range rep.Speedups {
 		fmt.Printf("speedup %-40s %.2fx\n", k, v)
+	}
+	for k, v := range rep.SpeedupsPF {
+		fmt.Printf("speedup-procfused %-40s %.2fx\n", k, v)
 	}
 
 	f, err := os.Create(*out)

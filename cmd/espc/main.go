@@ -37,6 +37,7 @@ func main() {
 		disasm    = flag.Bool("S", false, "print the compiled IR to stdout")
 		dumpIR    = flag.Bool("dump-ir", false, "print the compiled IR to stdout (alias of -S)")
 		dumpFused = flag.Bool("dump-fused", false, "print the fused-engine superinstruction translation to stdout")
+		dumpSched = flag.Bool("dump-schedule", false, "print the static rendezvous schedule (fused channels, dynamic fallbacks, interleave order) to stdout")
 		vet       = flag.Bool("vet", false, "print espvet static-analysis findings to stderr")
 		vetErr    = flag.Bool("vet-err", false, "like -vet, but findings fail the build (exit 1)")
 		vetOff    = flag.String("vet-disable", "", "comma-separated espvet check IDs or names to suppress")
@@ -49,7 +50,9 @@ func main() {
 		mcRun     = flag.Bool("mc", false, "model-check the program with the bundled checker (the program must be closed); a violation exits nonzero")
 		mcWorkers = flag.Int("mc-workers", 0, "model checker: parallel search workers (0 = all cores; 1 = deterministic)")
 		mcProg    = flag.Bool("mc-progress", false, "model checker: print periodic search progress to stderr")
-		engineN   = flag.String("engine", "fused", "model checker: VM engine driving the search, fused or baseline")
+		engineN   = flag.String("engine", "fused", "model checker: VM engine driving the search, fused, procfused, or baseline")
+		fuse      = flag.Bool("fuse", false, "model checker: drive the search with the process-fused engine (shorthand for -engine procfused)")
+		noFuse    = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,13 +72,19 @@ func main() {
 			vetDisable[key] = true
 		}
 	}
-	prog, err := esplang.Compile(string(src), esplang.CompileOptions{
+	copts := esplang.CompileOptions{
 		Name:       in,
 		File:       in,
 		NoOptimize: *noOpt,
 		VerifyIR:   *verifyIR,
 		VetDisable: vetDisable,
-	})
+	}
+	if *noFuse {
+		passes := esplang.OptAll()
+		passes.FuseProcs = false
+		copts.Passes = passes
+	}
+	prog, err := esplang.Compile(string(src), copts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, diag.RenderError(err, in, string(src)))
 		os.Exit(1)
@@ -93,6 +102,9 @@ func main() {
 	}
 	if *dumpFused {
 		fmt.Print(prog.DisasmFused())
+	}
+	if *dumpSched {
+		fmt.Print(prog.DumpSchedule())
 	}
 	if *stats {
 		s := prog.Stats()
@@ -135,6 +147,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "espc: %v\n", err)
 			os.Exit(2)
+		}
+		if *fuse {
+			engine = esplang.EngineProcFused
 		}
 		vo := esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true, Engine: engine}
 		if *mcProg {

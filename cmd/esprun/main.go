@@ -31,7 +31,9 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing; timestamps are VM cycles)")
 		profile    = flag.Bool("profile", false, "print the hot-line cycle profile and per-event breakdown at exit")
 		profileTop = flag.Int("profile-top", 10, "lines shown by -profile")
-		engineName = flag.String("engine", "fused", "execution engine: fused (superinstructions) or baseline; identical semantics and cycle accounting")
+		engineName = flag.String("engine", "fused", "execution engine: fused (superinstructions), procfused (adds static rendezvous scheduling), or baseline; identical semantics and cycle accounting")
+		fuse       = flag.Bool("fuse", false, "run the process-fused engine (shorthand for -engine procfused)")
+		noFuse     = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,7 +46,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
 		os.Exit(2)
 	}
-	prog, err := esplang.CompileFile(flag.Arg(0), esplang.CompileOptions{})
+	if *fuse {
+		engine = esplang.EngineProcFused
+	}
+	copts := esplang.CompileOptions{}
+	if *noFuse {
+		passes := esplang.OptAll()
+		passes.FuseProcs = false
+		copts.Passes = passes
+	}
+	prog, err := esplang.CompileFile(flag.Arg(0), copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
 		os.Exit(1)

@@ -35,7 +35,9 @@ func main() {
 		progress  = flag.Bool("progress", false, "print periodic search progress to stderr (states, frontier, states/s, memory)")
 		progressI = flag.Duration("progress-interval", 2*time.Second, "interval between -progress samples")
 		metricsF  = flag.String("metrics", "", "write a JSON metrics snapshot of the search to this file at exit")
-		engineN   = flag.String("engine", "fused", "VM engine driving the search: fused or baseline (verdicts and state counts are identical)")
+		engineN   = flag.String("engine", "fused", "VM engine driving the search: fused, procfused, or baseline (verdicts and state counts are identical)")
+		fuse      = flag.Bool("fuse", false, "drive the search with the process-fused engine (shorthand for -engine procfused)")
+		noFuse    = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
 		noVet     = flag.Bool("no-vet", false, "do not print espvet static-analysis findings before checking")
 	)
 	flag.Parse()
@@ -49,7 +51,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "espverify: %v\n", err)
 		os.Exit(2)
 	}
-	prog, err := esplang.CompileFile(flag.Arg(0), esplang.CompileOptions{})
+	if *fuse {
+		engine = esplang.EngineProcFused
+	}
+	copts := esplang.CompileOptions{}
+	if *noFuse {
+		passes := esplang.OptAll()
+		passes.FuseProcs = false
+		copts.Passes = passes
+	}
+	prog, err := esplang.CompileFile(flag.Arg(0), copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "espverify: %v\n", err)
 		os.Exit(1)

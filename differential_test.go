@@ -12,13 +12,17 @@ import (
 	"esplang/internal/vmmc"
 )
 
-// Differential tests for the two execution engines: the fused hot-path
-// engine must be observationally indistinguishable from the baseline
-// interpreter — same outputs, same faults (down to file:line), same
-// cycle meter, same event statistics, same trace bytes, and same
-// model-checker verdicts and state counts.
+// Differential tests for the three execution engines: the fused
+// hot-path engine and the process-fused engine (static rendezvous
+// scheduling, direct transfers, heap recycling) must both be
+// observationally indistinguishable from the baseline interpreter —
+// same outputs, same faults (down to file:line), same cycle meter, same
+// event statistics, same trace bytes, and same model-checker verdicts
+// and state counts. Stats.DirectXfers is the one deliberate exception:
+// it is a diagnostic counter only the process-fused engine increments
+// (charging zero cycles), so comparisons zero it first.
 
-var bothEngines = []esplang.Engine{esplang.EngineBaseline, esplang.EngineFused}
+var allEngines = []esplang.Engine{esplang.EngineBaseline, esplang.EngineFused, esplang.EngineProcFused}
 
 // engineRun executes path with the canonical inputs under one engine and
 // renders everything observable plus the cycle/statistics counters.
@@ -38,7 +42,9 @@ func engineRun(t *testing.T, path string, engine esplang.Engine) string {
 	} else {
 		b.WriteString("fault: none\n")
 	}
-	fmt.Fprintf(&b, "cycles: %d\nstats: %+v\n", m.Cycles, m.Stats)
+	st := m.Stats
+	st.DirectXfers = 0 // diagnostic-only; see the package comment above
+	fmt.Fprintf(&b, "cycles: %d\nstats: %+v\n", m.Cycles, st)
 	for _, ch := range prog.IR.Channels {
 		r, ok := readers[ch.Name]
 		if !ok {
@@ -56,7 +62,7 @@ func engineRun(t *testing.T, path string, engine esplang.Engine) string {
 
 // TestEngineDifferentialTestdata: every sample program behaves
 // identically — outputs, fault state, cycles, and statistics — under
-// both engines.
+// all three engines.
 func TestEngineDifferentialTestdata(t *testing.T) {
 	files, err := filepath.Glob("testdata/*.esp")
 	if err != nil || len(files) == 0 {
@@ -65,9 +71,10 @@ func TestEngineDifferentialTestdata(t *testing.T) {
 	for _, f := range files {
 		t.Run(filepath.Base(f), func(t *testing.T) {
 			base := engineRun(t, f, esplang.EngineBaseline)
-			fused := engineRun(t, f, esplang.EngineFused)
-			if base != fused {
-				t.Errorf("engines diverge:\n--- baseline ---\n%s--- fused ---\n%s", base, fused)
+			for _, engine := range allEngines[1:] {
+				if got := engineRun(t, f, engine); got != base {
+					t.Errorf("%v diverges from baseline:\n--- baseline ---\n%s--- %v ---\n%s", engine, base, engine, got)
+				}
 			}
 		})
 	}
@@ -119,8 +126,8 @@ func TestEngineDifferentialFaults(t *testing.T) {
 				cycles int64
 				stats  string
 			}
-			var got [2]outcome
-			for i, engine := range bothEngines {
+			var got [3]outcome
+			for i, engine := range allEngines {
 				prog, err := esplang.Compile(tc.src, esplang.CompileOptions{File: tc.name + ".esp"})
 				if err != nil {
 					t.Fatalf("compile: %v", err)
@@ -137,10 +144,12 @@ func TestEngineDifferentialFaults(t *testing.T) {
 				if f.Location() == "" {
 					t.Fatalf("engine %v: fault carries no source location: %v", engine, f)
 				}
-				got[i] = outcome{fault: *f, cycles: m.Cycles, stats: fmt.Sprintf("%+v", m.Stats)}
+				st := m.Stats
+				st.DirectXfers = 0
+				got[i] = outcome{fault: *f, cycles: m.Cycles, stats: fmt.Sprintf("%+v", st)}
 			}
-			if got[0] != got[1] {
-				t.Errorf("fault outcomes diverge:\nbaseline: %+v\nfused:    %+v", got[0], got[1])
+			if got[0] != got[1] || got[0] != got[2] {
+				t.Errorf("fault outcomes diverge:\nbaseline:  %+v\nfused:     %+v\nprocfused: %+v", got[0], got[1], got[2])
 			}
 		})
 	}
@@ -150,8 +159,8 @@ func TestEngineDifferentialFaults(t *testing.T) {
 // timestamps are derived from the cycle meter) is byte-identical across
 // engines.
 func TestEngineDifferentialTraces(t *testing.T) {
-	var traces [2]bytes.Buffer
-	for i, engine := range bothEngines {
+	var traces [3]bytes.Buffer
+	for i, engine := range allEngines {
 		prog, err := esplang.CompileFile("testdata/add5.esp", esplang.CompileOptions{})
 		if err != nil {
 			t.Fatal(err)
@@ -175,9 +184,9 @@ func TestEngineDifferentialTraces(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) {
-		t.Errorf("trace streams diverge:\n--- baseline ---\n%s\n--- fused ---\n%s",
-			traces[0].String(), traces[1].String())
+	if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) || !bytes.Equal(traces[0].Bytes(), traces[2].Bytes()) {
+		t.Errorf("trace streams diverge:\n--- baseline ---\n%s\n--- fused ---\n%s\n--- procfused ---\n%s",
+			traces[0].String(), traces[1].String(), traces[2].String())
 	}
 }
 
@@ -189,16 +198,16 @@ func TestEngineDifferentialVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got [2]string
-	for i, engine := range bothEngines {
+	var got [3]string
+	for i, engine := range allEngines {
 		res := prog.Verify(esplang.VerifyOptions{Workers: 1, Engine: engine})
 		if res.Violation != nil {
 			t.Fatalf("engine %v: unexpected violation: %v", engine, res.Violation)
 		}
 		got[i] = fmt.Sprintf("states=%d transitions=%d truncated=%v", res.States, res.Transitions, res.Truncated)
 	}
-	if got[0] != got[1] {
-		t.Errorf("search results diverge: baseline %s, fused %s", got[0], got[1])
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Errorf("search results diverge: baseline %s, fused %s, procfused %s", got[0], got[1], got[2])
 	}
 }
 
@@ -208,8 +217,8 @@ func TestEngineDifferentialVerify(t *testing.T) {
 func TestEngineDifferentialVerifySeededBugs(t *testing.T) {
 	for _, bug := range []vmmc.MemBug{vmmc.BugNone, vmmc.BugLeak, vmmc.BugUseAfterFree, vmmc.BugDoubleFree} {
 		t.Run(bug.String(), func(t *testing.T) {
-			var got [2]string
-			for i, engine := range bothEngines {
+			var got [3]string
+			for i, engine := range allEngines {
 				res, err := vmmc.VerifyMemSafety(bug, esplang.VerifyOptions{Workers: 1, Engine: engine})
 				if err != nil {
 					t.Fatal(err)
@@ -220,14 +229,14 @@ func TestEngineDifferentialVerifySeededBugs(t *testing.T) {
 				}
 				got[i] = fmt.Sprintf("states=%d violation=%s", res.States, viol)
 			}
-			if got[0] != got[1] {
-				t.Errorf("verdicts diverge:\nbaseline: %s\nfused:    %s", got[0], got[1])
+			if got[0] != got[1] || got[0] != got[2] {
+				t.Errorf("verdicts diverge:\nbaseline:  %s\nfused:     %s\nprocfused: %s", got[0], got[1], got[2])
 			}
 		})
 	}
 	t.Run("retrans-buggy", func(t *testing.T) {
-		var got [2]string
-		for i, engine := range bothEngines {
+		var got [3]string
+		for i, engine := range allEngines {
 			res, err := vmmc.VerifyRetrans(2, 3, true, esplang.VerifyOptions{Workers: 1, Engine: engine})
 			if err != nil {
 				t.Fatal(err)
@@ -237,8 +246,8 @@ func TestEngineDifferentialVerifySeededBugs(t *testing.T) {
 			}
 			got[i] = fmt.Sprintf("states=%d fault=%s", res.States, res.Violation.Fault.Error())
 		}
-		if got[0] != got[1] {
-			t.Errorf("verdicts diverge:\nbaseline: %s\nfused:    %s", got[0], got[1])
+		if got[0] != got[1] || got[0] != got[2] {
+			t.Errorf("verdicts diverge:\nbaseline:  %s\nfused:     %s\nprocfused: %s", got[0], got[1], got[2])
 		}
 	})
 }
@@ -249,8 +258,8 @@ func TestEngineDifferentialVerifySeededBugs(t *testing.T) {
 func TestEngineDifferentialVMMC(t *testing.T) {
 	cfg := nic.DefaultConfig()
 	defer func(prev esplang.Engine) { vmmc.Engine = prev }(vmmc.Engine)
-	var lat [2]float64
-	for i, engine := range bothEngines {
+	var lat [3]float64
+	for i, engine := range allEngines {
 		vmmc.Engine = engine
 		v, err := vmmc.PingPong(vmmc.ESP, cfg, 64, 5)
 		if err != nil {
@@ -258,8 +267,8 @@ func TestEngineDifferentialVMMC(t *testing.T) {
 		}
 		lat[i] = v
 	}
-	if lat[0] != lat[1] {
-		t.Errorf("firmware latency diverges: baseline %.3f ns, fused %.3f ns", lat[0], lat[1])
+	if lat[0] != lat[1] || lat[0] != lat[2] {
+		t.Errorf("firmware latency diverges: baseline %.3f ns, fused %.3f ns, procfused %.3f ns", lat[0], lat[1], lat[2])
 	}
 }
 
@@ -268,8 +277,8 @@ func TestEngineDifferentialVMMC(t *testing.T) {
 // charged from fused groups), so the profile and counters of a
 // fused-configured machine match a baseline machine exactly.
 func TestEngineProfilerParity(t *testing.T) {
-	var got [2]string
-	for i, engine := range bothEngines {
+	var got [3]string
+	for i, engine := range allEngines {
 		prog, err := esplang.CompileFile("testdata/pipeline.esp", esplang.CompileOptions{})
 		if err != nil {
 			t.Fatal(err)
@@ -283,7 +292,64 @@ func TestEngineProfilerParity(t *testing.T) {
 		}
 		got[i] = fmt.Sprintf("cycles=%d stats=%+v\n%s", m.Cycles, m.Stats, prof.Report(prog.Source, 20))
 	}
-	if got[0] != got[1] {
-		t.Errorf("profiles diverge:\n--- baseline ---\n%s\n--- fused ---\n%s", got[0], got[1])
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Errorf("profiles diverge:\n--- baseline ---\n%s\n--- fused ---\n%s\n--- procfused ---\n%s", got[0], got[1], got[2])
+	}
+}
+
+// TestEngineDifferentialTracesTestdata: the full trace-event stream of
+// every sample program — timestamps derived from the cycle meter — is
+// byte-identical between the baseline and process-fused engines, so the
+// static schedule's fast paths (direct transfers, narrowed scans, heap
+// recycling) are invisible to every observer.
+func TestEngineDifferentialTracesTestdata(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.esp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			var traces [2]bytes.Buffer
+			for i, engine := range []esplang.Engine{esplang.EngineBaseline, esplang.EngineProcFused} {
+				prog, err := esplang.CompileFile(f, esplang.CompileOptions{})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: 64, Engine: engine})
+				tr := obs.NewChromeTracer(1)
+				m.SetTracer(tr)
+				feedInputs(t, prog, m)
+				m.Run()
+				if err := tr.Write(&traces[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) {
+				t.Errorf("trace streams diverge:\n--- baseline ---\n%s\n--- procfused ---\n%s",
+					traces[0].String(), traces[1].String())
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialVerifyParallel: with several model-checker
+// workers racing over the frontier, the process-fused engine still
+// explores exactly the baseline's state space (the exhaustive search's
+// state count is worker-count-invariant).
+func TestEngineDifferentialVerifyParallel(t *testing.T) {
+	prog, err := esplang.CompileFile("testdata/pipeline.esp", esplang.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [3]string
+	for i, engine := range allEngines {
+		res := prog.Verify(esplang.VerifyOptions{Workers: 4, Engine: engine})
+		if res.Violation != nil {
+			t.Fatalf("engine %v: unexpected violation: %v", engine, res.Violation)
+		}
+		got[i] = fmt.Sprintf("states=%d transitions=%d", res.States, res.Transitions)
+	}
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Errorf("parallel search diverges: baseline %s, fused %s, procfused %s", got[0], got[1], got[2])
 	}
 }

@@ -62,9 +62,11 @@ type (
 	// Snapshot is a Go-native copy of a machine value.
 	Snapshot = vm.Snapshot
 	// Engine selects the VM's interpreter loop (MachineConfig.Engine,
-	// VerifyOptions.Engine): the fused hot-path engine (default) or the
-	// baseline one-instruction-at-a-time loop, kept as a differential-
-	// testing oracle. Both charge the identical cycle cost model.
+	// VerifyOptions.Engine): the fused hot-path engine (default), the
+	// process-fused engine (adds static rendezvous scheduling and direct
+	// transfers), or the baseline one-instruction-at-a-time loop, kept as
+	// a differential-testing oracle. All three charge the identical cycle
+	// cost model.
 	Engine = vm.Engine
 
 	// VerifyOptions configures model checking (see internal/mc).
@@ -101,13 +103,19 @@ const (
 
 // Execution engines (re-exported).
 const (
-	EngineFused    = vm.EngineFused
-	EngineBaseline = vm.EngineBaseline
+	EngineFused     = vm.EngineFused
+	EngineBaseline  = vm.EngineBaseline
+	EngineProcFused = vm.EngineProcFused
 )
 
-// ParseEngine parses an engine name ("baseline" or "fused"), for CLI
-// -engine flags.
+// ParseEngine parses an engine name ("baseline", "fused", or
+// "procfused"), for CLI -engine flags.
 var ParseEngine = vm.ParseEngine
+
+// OptAll returns the full optimizer pipeline — the default when
+// CompileOptions.Passes is zero. CLIs start from it to switch single
+// passes off (e.g. -no-fuse clears FuseProcs).
+var OptAll = opt.All
 
 // Value constructors (re-exported).
 var (
@@ -279,6 +287,20 @@ func (p *Program) DisasmFused() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// DumpSchedule renders the static rendezvous schedule the process-fused
+// engine executes: which channels were fused into direct transfers,
+// which stay on dynamic rendezvous and why, and the static interleave
+// order of the fusion groups. When the optimizer has not cached a
+// schedule (e.g. -O0 or -no-fuse), it is computed on the fly, exactly
+// as the fuseprocs pass would.
+func (p *Program) DumpSchedule() string {
+	sched := p.IR.Schedule
+	if sched == nil {
+		sched = analysis.ComputeSchedule(p.IR)
+	}
+	return ir.FormatSchedule(p.IR, sched)
 }
 
 // Stats summarizes the program.

@@ -12,8 +12,49 @@ import (
 // commSite is one reachable communication site on a channel.
 type commSite struct {
 	proc *ir.Proc
+	pi   int // process index in prog.Procs
+	pc   int // instruction pc (the Alt pc for alt-arm sites)
 	pos  token.Pos
 	arm  *ir.AltArm // non-nil for alt-arm sites
+}
+
+// collectCommSites gathers every reachable communication site, per
+// channel and per direction — the shared fact base of the
+// channel-protocol checks and the static rendezvous schedule. Sites in
+// unreachable code are excluded; alt arms stand in for their
+// SendCommit/port registrations.
+func collectCommSites(prog *ir.Program, cfgs []*cfg) (sends, recvs [][]commSite) {
+	sends = make([][]commSite, len(prog.Channels))
+	recvs = make([][]commSite, len(prog.Channels))
+	for pi, p := range prog.Procs {
+		g := cfgs[pi]
+		for bi := range g.blocks {
+			if !g.reachable[bi] {
+				continue
+			}
+			b := &g.blocks[bi]
+			for pc := b.start; pc < b.end; pc++ {
+				in := p.Code[pc]
+				switch in.Op {
+				case ir.Send:
+					sends[in.A] = append(sends[in.A], commSite{proc: p, pi: pi, pc: pc, pos: in.Pos})
+				case ir.Recv:
+					recvs[in.A] = append(recvs[in.A], commSite{proc: p, pi: pi, pc: pc, pos: in.Pos})
+				case ir.Alt:
+					for j := range p.Alts[in.A].Arms {
+						arm := &p.Alts[in.A].Arms[j]
+						s := commSite{proc: p, pi: pi, pc: pc, pos: arm.Pos, arm: arm}
+						if arm.IsSend {
+							sends[arm.Chan] = append(sends[arm.Chan], s)
+						} else {
+							recvs[arm.Chan] = append(recvs[arm.Chan], s)
+						}
+					}
+				}
+			}
+		}
+	}
+	return sends, recvs
 }
 
 // analyzeChannels reports channel-protocol defects — the static
@@ -32,40 +73,7 @@ type commSite struct {
 // External channels are exempt: the environment supplies the missing
 // side. Sites inside unreachable code do not count as counterparties.
 func analyzeChannels(prog *ir.Program, cfgs []*cfg, r *reporter) {
-	sends := make([][]commSite, len(prog.Channels))
-	recvs := make([][]commSite, len(prog.Channels))
-
-	for pi, p := range prog.Procs {
-		g := cfgs[pi]
-		for bi := range g.blocks {
-			if !g.reachable[bi] {
-				continue
-			}
-			b := &g.blocks[bi]
-			for pc := b.start; pc < b.end; pc++ {
-				in := p.Code[pc]
-				switch in.Op {
-				case ir.Send:
-					sends[in.A] = append(sends[in.A], commSite{proc: p, pos: in.Pos})
-				case ir.Recv:
-					recvs[in.A] = append(recvs[in.A], commSite{proc: p, pos: in.Pos})
-				case ir.Alt:
-					// Arm sites stand in for their SendCommit/port
-					// registrations, which carry no top-level site of
-					// their own.
-					for j := range p.Alts[in.A].Arms {
-						arm := &p.Alts[in.A].Arms[j]
-						s := commSite{proc: p, pos: arm.Pos, arm: arm}
-						if arm.IsSend {
-							sends[arm.Chan] = append(sends[arm.Chan], s)
-						} else {
-							recvs[arm.Chan] = append(recvs[arm.Chan], s)
-						}
-					}
-				}
-			}
-		}
-	}
+	sends, recvs := collectCommSites(prog, cfgs)
 
 	for _, ch := range prog.Channels {
 		if ch.Ext != ir.ExtNone {

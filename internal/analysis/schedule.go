@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"sort"
+
+	"esplang/internal/ir"
+)
+
+// ComputeSchedule builds the static rendezvous schedule for the
+// optimizer's FuseProcesses pass. It reuses the channel-protocol facts
+// the espvet checks are built on (reachable communication sites per
+// channel, per direction) to prove exclusivity: a channel fuses when it
+// is internal and every reachable send lives in one process, every
+// reachable receive in a second process, and all sites are plain
+// Send/Recv instructions. Everything else — external channels,
+// alt-guarded channels, fan-in/fan-out — keeps dynamic rendezvous, and
+// the schedule records why.
+//
+// The candidate-narrowing lists (Writers/Readers) are computed for every
+// channel regardless of pairing: any process without a reachable site on
+// a channel can never block on it, so the VM's rendezvous and poll scans
+// may skip it without changing which partner is found first (the lists
+// stay in ascending process order, matching the baseline scan order).
+func ComputeSchedule(prog *ir.Program) *ir.Schedule {
+	cfgs := make([]*cfg, len(prog.Procs))
+	for i, p := range prog.Procs {
+		cfgs[i] = buildCFG(p)
+	}
+	sends, recvs := collectCommSites(prog, cfgs)
+
+	s := &ir.Schedule{
+		Writers:  make([][]int, len(prog.Channels)),
+		Readers:  make([][]int, len(prog.Channels)),
+		Internal: make([]bool, len(prog.Channels)),
+		Reason:   make([]string, len(prog.Channels)),
+	}
+	for _, ch := range prog.Channels {
+		id := ch.ID
+		s.Internal[id] = ch.Ext == ir.ExtNone
+		s.Writers[id] = procSet(sends[id])
+		s.Readers[id] = procSet(recvs[id])
+
+		switch {
+		case ch.Ext != ir.ExtNone:
+			s.Reason[id] = "external binding"
+		case len(sends[id]) == 0 && len(recvs[id]) == 0:
+			s.Reason[id] = "unused"
+		case len(sends[id]) == 0 || len(recvs[id]) == 0:
+			s.Reason[id] = "one-sided"
+		case hasAltSite(sends[id]) || hasAltSite(recvs[id]):
+			s.Reason[id] = "alt-guarded"
+		case len(s.Writers[id]) > 1:
+			s.Reason[id] = "multiple senders"
+		case len(s.Readers[id]) > 1:
+			s.Reason[id] = "multiple receivers"
+		case s.Writers[id][0] == s.Readers[id][0]:
+			s.Reason[id] = "single process"
+		default:
+			s.Pairs = append(s.Pairs, ir.SchedPair{
+				Chan:    id,
+				Sender:  s.Writers[id][0],
+				Recv:    s.Readers[id][0],
+				SendPCs: sitePCs(sends[id]),
+				RecvPCs: sitePCs(recvs[id]),
+			})
+		}
+	}
+	return s
+}
+
+// procSet returns the distinct process indices of the sites, ascending.
+func procSet(sites []commSite) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range sites {
+		if !seen[s.pi] {
+			seen[s.pi] = true
+			out = append(out, s.pi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hasAltSite reports whether any site is an alt arm.
+func hasAltSite(sites []commSite) bool {
+	for _, s := range sites {
+		if s.arm != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// sitePCs returns the instruction pcs of the sites, ascending.
+func sitePCs(sites []commSite) []int {
+	out := make([]int, len(sites))
+	for i, s := range sites {
+		out[i] = s.pc
+	}
+	sort.Ints(out)
+	return out
+}

@@ -88,6 +88,16 @@ func DisasmFused(p *Proc, fp *FusedProc) string {
 		}
 		fmt.Fprintf(&b, "]\t%s\n", FormatFInstr(p, in))
 	}
+	// The base-pc -> fused-index side table, in ascending base-pc order
+	// (Map is indexed by pc, so iteration order is deterministic and
+	// goldens cannot churn). Interior pcs (-1) are omitted.
+	b.WriteString("map:")
+	for pc, idx := range fp.Map {
+		if idx >= 0 {
+			fmt.Fprintf(&b, " %d->%d", pc, idx)
+		}
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 
@@ -173,6 +183,21 @@ func FormatFInstr(p *Proc, in FInstr) string {
 	case FConstSend:
 		s := fmt.Sprintf("fconstsend %d chan=%d", in.Val, in.B)
 		if in.C&FlagFreeAfter != 0 {
+			s += " freeafter"
+		}
+		return s
+	case FSendDir:
+		s := fmt.Sprintf("fsenddir chan=%d partner=%d", in.A, in.C)
+		if in.B&FlagFreeAfter != 0 {
+			s += " freeafter"
+		}
+		return s
+	case FRecvDir:
+		return fmt.Sprintf("frecvdir chan=%d port=%d partner=%d", in.A, in.B, in.C)
+	case FXferRec:
+		s := fmt.Sprintf("fxferrec type=%s n=%d absorb=%b chan=%d partner=%d",
+			typeName(), in.B, in.Val, in.A, in.C)
+		if in.Sense {
 			s += " freeafter"
 		}
 		return s

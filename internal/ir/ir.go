@@ -268,6 +268,15 @@ type Program struct {
 	// rewrite; nil means not (or no longer) translated, and vm.New then
 	// fuses locally without touching the program.
 	Fused []*FusedProc
+	// Schedule is the static rendezvous schedule the optimizer's
+	// FuseProcesses pass computed (see schedule.go); nil when process
+	// fusion is off or the program has not been optimized.
+	Schedule *Schedule
+	// FusedSched caches the schedule-aware translation with
+	// direct-transfer instructions at statically-matched sites. Only
+	// EngineProcFused machines execute it; it is always paired with
+	// Schedule.
+	FusedSched []*FusedProc
 }
 
 // ChannelByName returns the named channel or nil.

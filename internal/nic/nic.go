@@ -80,6 +80,29 @@ func (p *Packet) WireBytes(hdr int) int {
 	return hdr + p.Size
 }
 
+// NewPacket returns a zeroed packet carved from a per-NIC slab: firmware
+// marshalling builds one packet per wire transfer, and slab allocation
+// replaces that per-packet garbage with one block per slab refill.
+// Packets are never recycled — a slab simply amortizes the allocator
+// visits. Blocks double from 8 to 64 packets so short-lived NICs (a
+// benchmark cluster per iteration) do not pay for a large block they
+// barely touch.
+func (n *NIC) NewPacket() *Packet {
+	if len(n.pktSlab) == 0 {
+		blk := n.pktBlock * 2
+		if blk < 8 {
+			blk = 8
+		} else if blk > 64 {
+			blk = 64
+		}
+		n.pktBlock = blk
+		n.pktSlab = make([]Packet, blk)
+	}
+	p := &n.pktSlab[0]
+	n.pktSlab = n.pktSlab[1:]
+	return p
+}
+
 // HostRequest is what the host library deposits in the NIC request queue:
 // a VMMC send (data from local VAddr to RAddr on node Dest) or a page
 // table update.
@@ -119,6 +142,36 @@ type Engine struct {
 	// stats
 	Transfers int64
 	Bytes     int64
+
+	// An engine moves one transfer at a time (Busy), so its completion
+	// events are sim.Handler firings on the engine itself — the
+	// simulation's hottest paths schedule no closures at all. pendingTag
+	// carries the firmware tag of the in-flight transfer to Fire.
+	pendingTag int64
+	n          *NIC
+}
+
+// Engine event codes (the arg of Engine.Fire).
+const (
+	engEvDone    = iota // transfer complete: free the engine, post DMADone
+	engEvLead           // cut-through: lead bytes landed, post DMADone early
+	engEvCutDone        // cut-through: full transfer complete, free the engine
+)
+
+// Fire implements sim.Handler for DMA completion events.
+func (e *Engine) Fire(arg int) {
+	switch arg {
+	case engEvDone:
+		e.Busy = false
+		e.n.dmaDone = append(e.n.dmaDone, DMADone{Engine: e, Tag: e.pendingTag})
+		e.n.Wake()
+	case engEvLead:
+		e.n.dmaDone = append(e.n.dmaDone, DMADone{Engine: e, Tag: e.pendingTag})
+		e.n.Wake()
+	case engEvCutDone:
+		e.Busy = false
+		e.n.Wake()
+	}
 }
 
 func (e *Engine) duration(bytes int) int64 {
@@ -155,6 +208,20 @@ type NIC struct {
 	runQueued    bool
 	cyclesInRun  int64 // cycles consumed so far in the current Run (DMA issue offsets)
 
+	// Event state (see Fire): the send and receive DMAs hold one packet
+	// at a time, so their completion events carry the packet in
+	// sendInFlight/recvInFlight instead of a per-packet closure. Wire
+	// propagation can have several packets in flight, but the latency is
+	// constant and the kernel fires equal-time events in schedule order,
+	// so a FIFO (wireIn) preserves arrival order.
+	sendInFlight *Packet
+	recvInFlight *Packet
+	wireIn       []*Packet // sent packets propagating toward this NIC
+
+	engines  [3]Engine // backing store for HostDMA/SendDMA/RecvDMA
+	pktSlab  []Packet  // backing store for NewPacket
+	pktBlock int       // current slab block size (doubles to 64)
+
 	// trace, when set, receives one timeline span per firmware run and per
 	// DMA/wire transfer. Durations are known at issue time, so Begin/End
 	// pairs are emitted together and the trace is balanced even if the
@@ -171,16 +238,50 @@ type NIC struct {
 	DroppedRing int64
 }
 
-// New creates a NIC.
-func New(id int, k *sim.Kernel, cfg Config) *NIC {
-	return &NIC{
-		ID:      id,
-		K:       k,
-		Cfg:     cfg,
-		HostDMA: &Engine{Name: "hostDMA", StartupNs: cfg.HostDMAStartupNs, PsPerByte: cfg.HostDMAPsPerByte},
-		SendDMA: &Engine{Name: "sendDMA", StartupNs: cfg.NetDMAStartupNs, PsPerByte: cfg.NetDMAPsPerByte},
-		RecvDMA: &Engine{Name: "recvDMA", StartupNs: cfg.NetDMAStartupNs, PsPerByte: cfg.NetDMAPsPerByte},
+// NIC event codes (the arg of NIC.Fire).
+const (
+	nicEvRun      = iota // scheduled firmware run
+	nicEvPumpRecv        // retry receive DMA after ring back-pressure
+	nicEvSendDone        // send DMA finished pushing sendInFlight to the wire
+	nicEvRecvDone        // receive DMA deposited recvInFlight into the ring
+	nicEvArrive          // oldest wireIn packet reached this NIC
+)
+
+// Fire implements sim.Handler for all per-NIC events.
+func (n *NIC) Fire(arg int) {
+	switch arg {
+	case nicEvRun:
+		n.doRun()
+	case nicEvPumpRecv:
+		n.pumpRecv()
+	case nicEvSendDone:
+		n.sendDone()
+	case nicEvRecvDone:
+		n.recvDone()
+	case nicEvArrive:
+		n.arriveNext()
 	}
+}
+
+// New creates a NIC. The event queues get small initial capacities: they
+// stay shallow (bounded by the window and ring sizes), and growing each
+// from nil was a visible slice of short benchmark runs that build a NIC
+// pair per iteration.
+func New(id int, k *sim.Kernel, cfg Config) *NIC {
+	n := &NIC{ID: id, K: k, Cfg: cfg,
+		reqQ:     make([]HostRequest, 0, 8),
+		dmaDone:  make([]DMADone, 0, 8),
+		recvRing: make([]*Packet, 0, 8),
+		wireQ:    make([]*Packet, 0, 8),
+		wireIn:   make([]*Packet, 0, 8),
+	}
+	n.engines[0] = Engine{Name: "hostDMA", StartupNs: cfg.HostDMAStartupNs, PsPerByte: cfg.HostDMAPsPerByte, n: n}
+	n.engines[1] = Engine{Name: "sendDMA", StartupNs: cfg.NetDMAStartupNs, PsPerByte: cfg.NetDMAPsPerByte, n: n}
+	n.engines[2] = Engine{Name: "recvDMA", StartupNs: cfg.NetDMAStartupNs, PsPerByte: cfg.NetDMAPsPerByte, n: n}
+	n.HostDMA = &n.engines[0]
+	n.SendDMA = &n.engines[1]
+	n.RecvDMA = &n.engines[2]
+	return n
 }
 
 // Connect joins two NICs with a wire.
@@ -243,13 +344,16 @@ func (n *NIC) PostRequest(r HostRequest) {
 // ---------------------------------------------------------------------------
 // Firmware-side interface (called during Firmware.Run)
 
-// PopRequest dequeues the next host request.
+// PopRequest dequeues the next host request. Pops shift the slice down in
+// place (here and below) so the queues keep their capacity instead of
+// marching the backing array forward and reallocating on every refill.
 func (n *NIC) PopRequest() (HostRequest, bool) {
 	if len(n.reqQ) == 0 {
 		return HostRequest{}, false
 	}
 	r := n.reqQ[0]
-	n.reqQ = n.reqQ[1:]
+	copy(n.reqQ, n.reqQ[1:])
+	n.reqQ = n.reqQ[:len(n.reqQ)-1]
 	return r, true
 }
 
@@ -262,7 +366,8 @@ func (n *NIC) PopDMADone() (DMADone, bool) {
 		return DMADone{}, false
 	}
 	d := n.dmaDone[0]
-	n.dmaDone = n.dmaDone[1:]
+	copy(n.dmaDone, n.dmaDone[1:])
+	n.dmaDone = n.dmaDone[:len(n.dmaDone)-1]
 	return d, true
 }
 
@@ -275,7 +380,9 @@ func (n *NIC) PopPacket() (*Packet, bool) {
 		return nil, false
 	}
 	p := n.recvRing[0]
-	n.recvRing = n.recvRing[1:]
+	copy(n.recvRing, n.recvRing[1:])
+	n.recvRing[len(n.recvRing)-1] = nil
+	n.recvRing = n.recvRing[:len(n.recvRing)-1]
 	return p, true
 }
 
@@ -321,14 +428,9 @@ func (n *NIC) StartHostDMACutThrough(bytes, leadBytes int, tag int64) bool {
 		n.trace.End(tid, issue+e.duration(bytes))
 		n.trace.Instant(tid, fmt.Sprintf("lead %dB ready", leadBytes), issue+e.duration(leadBytes))
 	}
-	n.K.At(issue+e.duration(leadBytes), func() {
-		n.dmaDone = append(n.dmaDone, DMADone{Engine: e, Tag: tag})
-		n.Wake()
-	})
-	n.K.At(issue+e.duration(bytes), func() {
-		e.Busy = false
-		n.Wake()
-	})
+	e.pendingTag = tag
+	n.K.AtEvent(issue+e.duration(leadBytes), e, engEvLead)
+	n.K.AtEvent(issue+e.duration(bytes), e, engEvCutDone)
 	return true
 }
 
@@ -346,11 +448,8 @@ func (n *NIC) startDMA(e *Engine, bytes int, tag int64) bool {
 		n.trace.Begin(tid, fmt.Sprintf("%s %dB", e.Name, bytes), issue)
 		n.trace.End(tid, done)
 	}
-	n.K.At(done, func() {
-		e.Busy = false
-		n.dmaDone = append(n.dmaDone, DMADone{Engine: e, Tag: tag})
-		n.Wake()
-	})
+	e.pendingTag = tag
+	n.K.AtEvent(done, e, engEvDone)
 	return true
 }
 
@@ -387,15 +486,32 @@ func (n *NIC) SendPacket(p *Packet) bool {
 		n.trace.End(tid, sent)
 		n.trace.Instant(peer.track(3), "wire arrival", sent+n.Cfg.WireLatencyNs)
 	}
-	n.K.At(sent, func() {
-		n.SendDMA.Busy = false
-		n.dmaDone = append(n.dmaDone, DMADone{Engine: n.SendDMA, Tag: -1})
-		n.Wake()
-		peer.K.At(peer.K.Now()+n.Cfg.WireLatencyNs, func() {
-			peer.arrive(p, bytes)
-		})
-	})
+	n.sendInFlight = p
+	n.K.AtEvent(sent, n, nicEvSendDone)
 	return true
+}
+
+// sendDone fires when the send DMA finishes pushing sendInFlight onto the
+// wire: the engine frees, the firmware wakes, and the packet starts its
+// constant-latency wire propagation toward the peer.
+func (n *NIC) sendDone() {
+	p := n.sendInFlight
+	n.sendInFlight = nil
+	n.SendDMA.Busy = false
+	n.dmaDone = append(n.dmaDone, DMADone{Engine: n.SendDMA, Tag: -1})
+	n.Wake()
+	peer := n.peer
+	peer.wireIn = append(peer.wireIn, p)
+	peer.K.AtEvent(peer.K.Now()+n.Cfg.WireLatencyNs, peer, nicEvArrive)
+}
+
+// arriveNext delivers the oldest packet still on the wire.
+func (n *NIC) arriveNext() {
+	p := n.wireIn[0]
+	copy(n.wireIn, n.wireIn[1:])
+	n.wireIn[len(n.wireIn)-1] = nil
+	n.wireIn = n.wireIn[:len(n.wireIn)-1]
+	n.arrive(p)
 }
 
 // SendDMAFree reports whether the send DMA can take a packet now.
@@ -416,7 +532,7 @@ func (n *NIC) PostNotification(nt Notification) {
 // Wire arrival: the receive DMA deposits packets into the ring without
 // firmware involvement (hardware-managed, like the LANai receive path).
 
-func (n *NIC) arrive(p *Packet, wireBytes int) {
+func (n *NIC) arrive(p *Packet) {
 	n.wireQ = append(n.wireQ, p)
 	n.pumpRecv()
 }
@@ -429,11 +545,13 @@ func (n *NIC) pumpRecv() {
 		// Ring full: model back-pressure by retrying after a ring slot
 		// drains (Myrinet links are flow-controlled and lossless).
 		n.DroppedRing++
-		n.K.After(n.Cfg.WireLatencyNs, n.pumpRecv)
+		n.K.AfterEvent(n.Cfg.WireLatencyNs, n, nicEvPumpRecv)
 		return
 	}
 	p := n.wireQ[0]
-	n.wireQ = n.wireQ[1:]
+	copy(n.wireQ, n.wireQ[1:])
+	n.wireQ[len(n.wireQ)-1] = nil
+	n.wireQ = n.wireQ[:len(n.wireQ)-1]
 	n.RecvDMA.Busy = true
 	n.RecvDMA.Transfers++
 	bytes := p.WireBytes(n.Cfg.HeaderBytes)
@@ -443,13 +561,20 @@ func (n *NIC) pumpRecv() {
 		n.trace.Begin(tid, fmt.Sprintf("recvDMA %dB", bytes), n.K.Now())
 		n.trace.End(tid, n.K.Now()+n.RecvDMA.duration(bytes))
 	}
-	n.K.After(n.RecvDMA.duration(bytes), func() {
-		n.RecvDMA.Busy = false
-		n.recvRing = append(n.recvRing, p)
-		n.PktsRecv++
-		n.Wake()
-		n.pumpRecv()
-	})
+	n.recvInFlight = p
+	n.K.AfterEvent(n.RecvDMA.duration(bytes), n, nicEvRecvDone)
+}
+
+// recvDone fires when the receive DMA has deposited recvInFlight into the
+// arrived-packet ring.
+func (n *NIC) recvDone() {
+	p := n.recvInFlight
+	n.recvInFlight = nil
+	n.RecvDMA.Busy = false
+	n.recvRing = append(n.recvRing, p)
+	n.PktsRecv++
+	n.Wake()
+	n.pumpRecv()
 }
 
 // ---------------------------------------------------------------------------
@@ -465,7 +590,7 @@ func (n *NIC) Wake() {
 	if n.cpuBusyUntil > at {
 		at = n.cpuBusyUntil
 	}
-	n.K.At(at, n.doRun)
+	n.K.AtEvent(at, n, nicEvRun)
 }
 
 func (n *NIC) doRun() {

@@ -42,6 +42,14 @@ type Options struct {
 	// pipeline without Fuse leaves Fused nil and vm.New fuses locally on
 	// demand.
 	Fuse bool
+	// FuseProcs runs the process-fusion pass after the fixpoint: it
+	// computes the static rendezvous schedule (analysis.ComputeSchedule)
+	// from the settled IR and caches the schedule-aware translation with
+	// direct-transfer instructions on Program.Schedule/FusedSched. Only
+	// vm.EngineProcFused executes that translation; a pipeline without
+	// FuseProcs leaves both nil and the engine falls back to the plain
+	// fused form.
+	FuseProcs bool
 	// Verify runs ir.Verify after every pass; Run aborts with an error
 	// naming the offending pass if a rewrite corrupts the program.
 	Verify bool
@@ -49,7 +57,8 @@ type Options struct {
 
 // All returns the full pipeline, including the cross-process analysis.
 func All() Options {
-	return Options{ConstFold: true, CopyProp: true, DCE: true, CastReuse: true, CrossProc: true, Fuse: true}
+	return Options{ConstFold: true, CopyProp: true, DCE: true, CastReuse: true,
+		CrossProc: true, Fuse: true, FuseProcs: true}
 }
 
 // Optimize rewrites every process of the program in place and returns

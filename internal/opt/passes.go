@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"esplang/internal/analysis"
 	"esplang/internal/ir"
 )
 
@@ -38,6 +39,21 @@ type crossProcPass struct{}
 func (crossProcPass) Name() string { return "crossproc-const" }
 func (crossProcPass) RunProgram(prog *ir.Program) bool {
 	return CrossProcConstants(prog) > 0
+}
+
+// fuseProcsPass computes the static rendezvous schedule and the
+// schedule-aware (direct-transfer) translation. It reports a change when
+// at least one channel fused. Unlike the rewrites it never touches the
+// base IR, so the driver runs it once after the fixpoint — the schedule
+// must be read off the settled code.
+type fuseProcsPass struct{}
+
+func (fuseProcsPass) Name() string { return "fuseprocs" }
+func (fuseProcsPass) RunProgram(prog *ir.Program) bool {
+	sched := analysis.ComputeSchedule(prog)
+	prog.Schedule = sched
+	prog.FusedSched = ir.FuseProgramSched(prog, sched)
+	return len(sched.Pairs) > 0
 }
 
 // PassStats accumulates per-pass counters across a driver run.
@@ -114,8 +130,9 @@ func pipeline(opts Options) (progPasses []ProgramPass, local []Pass) {
 // Run aborts with a descriptive error naming the offending pass the
 // moment a rewrite corrupts the program.
 func Run(prog *ir.Program, opts Options) (*Stats, error) {
-	// Any rewrite invalidates a cached fused translation.
+	// Any rewrite invalidates a cached fused translation and schedule.
 	prog.Fused = nil
+	prog.Schedule, prog.FusedSched = nil, nil
 	rounds := opts.MaxRounds
 	if rounds == 0 {
 		rounds = 8
@@ -185,6 +202,14 @@ func Run(prog *ir.Program, opts Options) (*Stats, error) {
 	if opts.Fuse {
 		prog.Fused = ir.FuseProgram(prog)
 	}
+	if opts.FuseProcs {
+		pp := fuseProcsPass{}
+		ps := statFor(pp.Name())
+		ps.Runs++
+		if pp.RunProgram(prog) {
+			ps.Changed++
+		}
+	}
 	return stats, nil
 }
 
@@ -210,6 +235,9 @@ func runExtra(prog *ir.Program, opts Options, extra ...Pass) (*Stats, error) {
 	if opts.Fuse {
 		// The extras may have rewritten code after Run's translation.
 		prog.Fused = ir.FuseProgram(prog)
+	}
+	if opts.FuseProcs {
+		fuseProcsPass{}.RunProgram(prog)
 	}
 	return stats, nil
 }

@@ -4,8 +4,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"esplang/internal/obs"
 )
 
@@ -33,13 +31,25 @@ func (k *Kernel) SetMetrics(reg *obs.Metrics) {
 	k.hPending = reg.Histogram("sim_pending_events")
 }
 
-// New returns a kernel at time 0.
+// New returns a kernel at time 0. The queue gets a small initial
+// capacity: device models keep only a handful of events outstanding, and
+// the first few heap growths were visible in benchmarks that build a
+// kernel per iteration.
 func New() *Kernel {
-	return &Kernel{}
+	return &Kernel{pq: make(eventQueue, 0, 16)}
 }
 
 // Now returns the current simulation time in nanoseconds.
 func (k *Kernel) Now() int64 { return k.now }
+
+// Handler is the closure-free face of event scheduling: a simulated
+// device implements Fire and schedules itself with AtEvent, dispatching
+// on the arg it passed. The NIC model fires thousands of events per
+// benchmarked operation; handler events make each one allocation-free
+// where a fresh closure per schedule dominated allocation profiles.
+type Handler interface {
+	Fire(arg int)
+}
 
 // At schedules fn at absolute time t (clamped to now).
 func (k *Kernel) At(t int64, fn func()) {
@@ -47,7 +57,7 @@ func (k *Kernel) At(t int64, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.pq, &event{time: t, seq: k.seq, fn: fn})
+	k.pq.push(event{time: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
@@ -55,18 +65,37 @@ func (k *Kernel) After(d int64, fn func()) {
 	k.At(k.now+d, fn)
 }
 
+// AtEvent schedules h.Fire(arg) at absolute time t (clamped to now).
+// Interleaves deterministically with At closures in schedule order.
+func (k *Kernel) AtEvent(t int64, h Handler, arg int) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.pq.push(event{time: t, seq: k.seq, h: h, arg: arg})
+}
+
+// AfterEvent schedules h.Fire(arg) d nanoseconds from now.
+func (k *Kernel) AfterEvent(d int64, h Handler, arg int) {
+	k.AtEvent(k.now+d, h, arg)
+}
+
 // Step fires the next event; it reports whether one existed.
 func (k *Kernel) Step() bool {
-	if k.pq.Len() == 0 {
+	if len(k.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.pq).(*event)
+	ev := k.pq.pop()
 	k.now = ev.time
 	if k.mEvents != nil {
 		k.mEvents.Inc()
-		k.hPending.Observe(int64(k.pq.Len()))
+		k.hPending.Observe(int64(len(k.pq)))
 	}
-	ev.fn()
+	if ev.h != nil {
+		ev.h.Fire(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -88,7 +117,7 @@ func (k *Kernel) Run(stop func() bool) int {
 // RunUntil fires events with time <= t, then sets the clock to t.
 func (k *Kernel) RunUntil(t int64) int {
 	n := 0
-	for k.pq.Len() > 0 && k.pq[0].time <= t {
+	for len(k.pq) > 0 && k.pq[0].time <= t {
 		k.Step()
 		n++
 	}
@@ -99,30 +128,65 @@ func (k *Kernel) RunUntil(t int64) int {
 }
 
 // Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return k.pq.Len() }
+func (k *Kernel) Pending() int { return len(k.pq) }
 
 type event struct {
 	time int64
 	seq  int64
-	fn   func()
+	fn   func()  // closure event (At/After); nil for handler events
+	h    Handler // handler event (AtEvent/AfterEvent); nil for closures
+	arg  int
 }
 
-type eventQueue []*event
+// eventQueue is a binary min-heap of events ordered by (time, seq),
+// stored by value: pushing an event reuses the slice's spare capacity, so
+// the simulation's hottest allocation site — one event node plus one
+// interface box per schedule under the old container/heap version — costs
+// nothing in steady state.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	ev := h[0]
+	h[0] = h[n]
+	h[n] = event{} // drop the fn/handler references
+	*q = h[:n]
+	h = h[:n]
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		small := i
+		if left < n && h.less(left, small) {
+			small = left
+		}
+		if right < n && h.less(right, small) {
+			small = right
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
 	return ev
 }

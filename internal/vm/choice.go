@@ -204,10 +204,9 @@ func (m *Machine) Clone() *Machine {
 		Cost:         m.Cost,
 		Config:       m.Config,
 		fused:        m.fused, // immutable, shared
+		sched:        m.sched, // immutable, shared
 		extW:         m.extW,
 		extR:         m.extR,
-		sendQ:        map[int][]int{},
-		recvQ:        map[int][]int{},
 		commitTarget: m.commitTarget,
 		commitArm:    m.commitArm,
 		flt:          m.flt,
@@ -251,11 +250,15 @@ func (m *Machine) Clone() *Machine {
 		n.Procs = append(n.Procs, np)
 	}
 	n.ready = append([]int(nil), m.ready...)
-	for k, v := range m.sendQ {
-		n.sendQ[k] = append([]int(nil), v...)
-	}
-	for k, v := range m.recvQ {
-		n.recvQ[k] = append([]int(nil), v...)
+	if m.Config.UseWaitQueues {
+		n.sendQ = make(map[int][]int, len(m.sendQ))
+		n.recvQ = make(map[int][]int, len(m.recvQ))
+		for k, v := range m.sendQ {
+			n.sendQ[k] = append([]int(nil), v...)
+		}
+		for k, v := range m.recvQ {
+			n.recvQ[k] = append([]int(nil), v...)
+		}
 	}
 	n.hookHeap()
 	return n

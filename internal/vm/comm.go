@@ -271,7 +271,10 @@ func (m *Machine) tryCompleteSend(s *ProcInst) bool {
 		}
 	}
 
-	if er, ok := m.extR[chanID]; ok {
+	if m.sched != nil && m.sched.internal[chanID] {
+		return false // internal channel: no external binding to consult
+	}
+	if er := m.extR[chanID]; er != nil {
 		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
 		m.tracePoll(chanID)
@@ -337,7 +340,10 @@ func (m *Machine) tryCompleteRecv(r *ProcInst) bool {
 		}
 	}
 	// 3. External writer.
-	if ew, ok := m.extW[chanID]; ok {
+	if m.sched != nil && m.sched.internal[chanID] {
+		return false
+	}
+	if ew := m.extW[chanID]; ew != nil {
 		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
 		m.tracePoll(chanID)
@@ -437,7 +443,10 @@ func (m *Machine) altSendArm(p *ProcInst, arm *ir.AltArm) (int, bool) {
 			}
 		}
 	}
-	if er, ok := m.extR[arm.Chan]; ok {
+	if m.sched != nil && m.sched.internal[arm.Chan] {
+		return 0, false
+	}
+	if er := m.extR[arm.Chan]; er != nil {
 		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
 		m.tracePoll(arm.Chan)
@@ -491,7 +500,10 @@ func (m *Machine) altRecvArm(p *ProcInst, arm *ir.AltArm) (int, bool, bool) {
 		}
 	}
 	// 3. External writer.
-	if ew, ok := m.extW[arm.Chan]; ok {
+	if m.sched != nil && m.sched.internal[arm.Chan] {
+		return 0, false, false
+	}
+	if ew := m.extW[arm.Chan]; ew != nil {
 		m.chargeEv(obs.KindPoll, m.Cost.ExternalPoll)
 		m.Stats.Polls++
 		m.tracePoll(arm.Chan)
@@ -543,8 +555,9 @@ func (m *Machine) Poll() bool {
 		var taken bool
 		var v Value
 		matched := false
-		for idx := 0; idx < len(m.Procs) && !matched; idx++ {
-			r := m.Procs[idx]
+		scan := m.scanList(chanID, false)
+		for k := 0; k < len(scan) && !matched; k++ {
+			r := m.Procs[scan[k]]
 			m.maskCharge()
 			switch r.Status {
 			case PBlockedRecv:
@@ -598,8 +611,8 @@ func (m *Machine) Poll() bool {
 	// Blocked senders to external readers.
 	for _, chanID := range m.extRIDs() {
 		er := m.extR[chanID]
-		for idx := 0; idx < len(m.Procs); idx++ {
-			s := m.Procs[idx]
+		for _, pi := range m.scanList(chanID, true) {
+			s := m.Procs[pi]
 			m.maskCharge()
 			switch s.Status {
 			case PBlockedSend:
@@ -649,31 +662,28 @@ func (m *Machine) Poll() bool {
 
 // extWIDs/extRIDs return the sorted external-channel ID lists. They are
 // cached on the machine (invalidated by BindWriter/BindReader) so the
-// idle-loop Poll does not allocate and sort on every call.
+// idle-loop Poll does not allocate on every call. The binding slices are
+// channel-indexed, so a walk yields the IDs already in ascending order.
 func (m *Machine) extWIDs() []int {
 	if m.extWIDsC == nil {
-		m.extWIDsC = sortedKeys(m.extW)
+		m.extWIDsC = make([]int, 0, len(m.extW))
+		for id, w := range m.extW {
+			if w != nil {
+				m.extWIDsC = append(m.extWIDsC, id)
+			}
+		}
 	}
 	return m.extWIDsC
 }
 
 func (m *Machine) extRIDs() []int {
 	if m.extRIDsC == nil {
-		m.extRIDsC = sortedKeys(m.extR)
-	}
-	return m.extRIDsC
-}
-
-func sortedKeys[V any](mp map[int]V) []int {
-	ids := make([]int, 0, len(mp))
-	for id := range mp {
-		ids = append(ids, id)
-	}
-	// Insertion sort: the maps are tiny (a handful of channels).
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+		m.extRIDsC = make([]int, 0, len(m.extR))
+		for id, r := range m.extR {
+			if r != nil {
+				m.extRIDsC = append(m.extRIDsC, id)
+			}
 		}
 	}
-	return ids
+	return m.extRIDsC
 }

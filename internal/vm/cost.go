@@ -60,6 +60,12 @@ type Stats struct {
 	QueueOps     int64
 	Polls        int64
 	DeepCopied   int64 // words
+	// DirectXfers counts rendezvous completed through the process-fused
+	// engine's direct-transfer fast path. It is a diagnostic: each such
+	// transfer already appears in Rendezvous (and charges the same
+	// cycles), so DirectXfers contributes zero to the §6.2 cycle
+	// decomposition and the other engines always leave it zero.
+	DirectXfers int64
 }
 
 // Sub returns the event counts accumulated since o was captured
@@ -81,6 +87,7 @@ func (s Stats) Sub(o Stats) Stats {
 		QueueOps:     s.QueueOps - o.QueueOps,
 		Polls:        s.Polls - o.Polls,
 		DeepCopied:   s.DeepCopied - o.DeepCopied,
+		DirectXfers:  s.DirectXfers - o.DirectXfers,
 	}
 }
 
@@ -109,6 +116,7 @@ func (s Stats) String() string {
 	add("queueops", s.QueueOps)
 	add("polls", s.Polls)
 	add("deepcopied", s.DeepCopied)
+	add("directxfers", s.DirectXfers)
 	if b.Len() == 0 {
 		return "(no events)"
 	}

@@ -6,13 +6,19 @@ import "fmt"
 // default (the zero value): it runs the load-time translation of
 // ir.FuseProgram and is observably identical to the baseline — same
 // Stats, same cycle meter, same faults, same trace events — just faster.
-// The baseline engine remains as the differential-testing oracle.
+// The baseline engine remains as the differential-testing oracle. The
+// process-fused engine additionally executes the optimizer's static
+// rendezvous schedule: direct-transfer instructions on
+// statically-matched channels, narrowed partner scans everywhere else,
+// and heap-object recycling — still observably identical, with one
+// extra diagnostic counter (Stats.DirectXfers) that charges no cycles.
 type Engine uint8
 
 // Engines.
 const (
 	EngineFused Engine = iota
 	EngineBaseline
+	EngineProcFused
 )
 
 func (e Engine) String() string {
@@ -21,6 +27,8 @@ func (e Engine) String() string {
 		return "fused"
 	case EngineBaseline:
 		return "baseline"
+	case EngineProcFused:
+		return "procfused"
 	}
 	return "engine?"
 }
@@ -32,6 +40,8 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineFused, nil
 	case "baseline":
 		return EngineBaseline, nil
+	case "procfused":
+		return EngineProcFused, nil
 	}
-	return EngineFused, fmt.Errorf("unknown engine %q (want baseline or fused)", s)
+	return EngineFused, fmt.Errorf("unknown engine %q (want baseline, fused, or procfused)", s)
 }

@@ -102,6 +102,13 @@ type Machine struct {
 	// baseline engine was selected. It is immutable and shared by clones.
 	fused []*ir.FusedProc
 
+	// sched is the runtime form of the static rendezvous schedule
+	// (process-fused engine, auto + bit-mask mode only; nil otherwise).
+	// Immutable and shared by clones; schedStore is its backing storage
+	// so New performs no extra allocation for it.
+	sched      *schedRT
+	schedStore schedRT
+
 	// State-snapshot scratch (see savedstate.go and encode.go): a
 	// per-machine generation counter for object-graph marking, the
 	// encoder's reusable buffer, and the pool of objects RestoreState
@@ -121,10 +128,15 @@ type Machine struct {
 	commitTarget int
 	commitArm    int
 
-	extW map[int]ExternalWriter
-	extR map[int]ExternalReader
+	// External bindings, indexed by channel ID (nil = unbound). Slices
+	// rather than maps: tryCompleteSend/Recv and Poll consult them on
+	// every communication, and the index is hot enough that map hashing
+	// showed up in firmware profiles.
+	extW []ExternalWriter
+	extR []ExternalReader
 
-	// Wait-queue mode state (UseWaitQueues).
+	// Wait-queue mode state (UseWaitQueues; nil maps otherwise — the
+	// unconditional reads and deletes below are no-ops on nil).
 	sendQ map[int][]int
 	recvQ map[int][]int
 
@@ -157,15 +169,18 @@ func New(prog *ir.Program, cfg Config) *Machine {
 		Prog:         prog,
 		Config:       cfg,
 		Cost:         DefaultCostModel(),
-		extW:         make(map[int]ExternalWriter),
-		extR:         make(map[int]ExternalReader),
-		sendQ:        make(map[int][]int),
-		recvQ:        make(map[int][]int),
+		extW:         make([]ExternalWriter, len(prog.Channels)),
+		extR:         make([]ExternalReader, len(prog.Channels)),
 		commitTarget: -1,
 		commitArm:    -1,
 	}
+	if cfg.UseWaitQueues {
+		m.sendQ = make(map[int][]int)
+		m.recvQ = make(map[int][]int)
+	}
 	m.heap.MaxLive = cfg.MaxLiveObjects
-	if cfg.Engine == EngineFused {
+	switch cfg.Engine {
+	case EngineFused:
 		m.fused = prog.Fused
 		if m.fused == nil {
 			// The program was not fused ahead of time (optimizer skipped or
@@ -173,17 +188,57 @@ func New(prog *ir.Program, cfg Config) *Machine {
 			// program.
 			m.fused = ir.FuseProgram(prog)
 		}
-	}
-	for _, pd := range prog.Procs {
-		p := &ProcInst{
-			Def:    pd,
-			ID:     pd.ID,
-			Locals: make([]Value, pd.NumLocals),
-			Stack:  make([]Value, 0, pd.MaxStack),
+	case EngineProcFused:
+		m.fused = prog.FusedSched
+		if m.fused == nil {
+			// No schedule-aware translation cached (process fusion off in
+			// the optimizer): run the plain fused form; the schedule fast
+			// paths stay off.
+			m.fused = prog.Fused
+			if m.fused == nil {
+				m.fused = ir.FuseProgram(prog)
+			}
+		} else if !cfg.Manual && !cfg.UseWaitQueues && prog.Schedule != nil {
+			// The static schedule drives the fast paths only in auto,
+			// bit-mask mode: Manual machines (the model checker) enumerate
+			// communications themselves, and queue mode's charges are tied
+			// to the dynamic queues.
+			m.schedStore = schedRT{writers: prog.Schedule.Writers,
+				readers: prog.Schedule.Readers, internal: prog.Schedule.Internal}
+			m.sched = &m.schedStore
 		}
-		m.Procs = append(m.Procs, p)
+		if !cfg.Manual {
+			// Recycle freed heap shells: the snapshot machinery of Manual
+			// machines owns object lifetimes, everything else is free to
+			// reuse them (observably identical on refcount-correct code).
+			m.heap.recycle = true
+		}
+	}
+	// Process instances, locals, and stacks live in two block allocations:
+	// firmware benchmarks build a machine per run, and the per-process
+	// make calls were a measurable slice of their profiles. The full slice
+	// expressions below wall each region off so an append past a stack's
+	// capacity reallocates instead of bleeding into its neighbor.
+	insts := make([]ProcInst, len(prog.Procs))
+	nvals := 0
+	for _, pd := range prog.Procs {
+		nvals += pd.NumLocals + pd.MaxStack
+	}
+	vals := make([]Value, nvals)
+	m.Procs = make([]*ProcInst, len(prog.Procs))
+	off := 0
+	for i, pd := range prog.Procs {
+		p := &insts[i]
+		p.Def = pd
+		p.ID = pd.ID
+		p.Locals = vals[off : off+pd.NumLocals : off+pd.NumLocals]
+		off += pd.NumLocals
+		p.Stack = vals[off : off : off+pd.MaxStack]
+		off += pd.MaxStack
+		m.Procs[i] = p
 	}
 	// Push in reverse so the first-declared process runs first.
+	m.ready = make([]int, 0, len(m.Procs)+4)
 	for i := len(m.Procs) - 1; i >= 0; i-- {
 		m.ready = append(m.ready, i)
 	}
@@ -414,6 +469,22 @@ func (m *Machine) candidates(chanID int, send bool) []int {
 	}
 	m.chargeEv(obs.KindMaskCheck, m.Cost.MaskCheck)
 	m.Stats.MaskChecks++
+	return m.scanList(chanID, send)
+}
+
+// scanList returns the process indices the partner scans walk for
+// chanID: the whole table, or — when the static schedule is available —
+// only the processes with a reachable site on the channel. The narrowed
+// lists are in ascending process order, so a scan finds the same first
+// partner the full walk would. Charge-free: bit-mask searches pay per
+// search in candidates, and Poll pays per external poll.
+func (m *Machine) scanList(chanID int, send bool) []int {
+	if m.sched != nil {
+		if send {
+			return m.sched.writers[chanID]
+		}
+		return m.sched.readers[chanID]
+	}
 	if len(m.allIdx) != len(m.Procs) {
 		// Built once per machine (the process set is fixed after New) and
 		// only ever read by the scan loops, so the scan is allocation-free.
@@ -423,4 +494,15 @@ func (m *Machine) candidates(chanID int, send bool) []int {
 		}
 	}
 	return m.allIdx
+}
+
+// schedRT is the runtime form of the static rendezvous schedule: the
+// per-channel candidate lists the scan loops iterate (ascending process
+// indices), and the internal-channel flags that let the rendezvous path
+// skip the external-binding lookups. Built once in New from the
+// program's Schedule; immutable thereafter.
+type schedRT struct {
+	writers  [][]int
+	readers  [][]int
+	internal []bool
 }

@@ -93,9 +93,16 @@ func (o *Object) String() string {
 	}
 }
 
-// Heap is the object store of one machine. Objects are never reused;
-// freed objects keep their contents so use-after-free is detectable, the
-// property the verifier checks exhaustively (§5.2).
+// Heap is the object store of one machine. By default objects are never
+// reused; freed objects keep their contents so use-after-free is
+// detectable, the property the verifier checks exhaustively (§5.2). The
+// process-fused engine turns on recycling (see Machine.New): freed
+// Object shells go on a free list and Alloc reuses them under a fresh
+// ID, so the hot allocate-send-free cycle stops hitting the Go
+// allocator. Recycling changes nothing observable — IDs, live counts,
+// Stats, and fault behavior on refcount-correct programs are identical —
+// and it stays off in Manual (model checker) machines, whose snapshot
+// machinery owns object lifetimes.
 type Heap struct {
 	// MaxLive, when positive, bounds the number of simultaneously live
 	// objects. Exceeding it faults — the paper's way of catching leaks
@@ -113,6 +120,11 @@ type Heap struct {
 	// Stats.Frees and the observability layer in step (see
 	// Machine.hookHeap).
 	onFree func()
+
+	// recycle enables the free list; pool holds freed shells awaiting
+	// reuse.
+	recycle bool
+	pool    []*Object
 }
 
 // Live returns the number of currently live objects.
@@ -125,12 +137,30 @@ func (h *Heap) Allocs() int64 { return h.allocs }
 func (h *Heap) Frees() int64 { return h.frees }
 
 // Alloc creates a new object with reference count 1. It returns nil if
-// the live-object bound is exceeded (the caller faults).
+// the live-object bound is exceeded (the caller faults). With recycling
+// on, a freed shell is reused when available — under a fresh ID, so the
+// object is indistinguishable from a new one. Contract: every caller
+// stores into all n elements before the object becomes reachable (records
+// pop every field, arrays store init into every slot), so a reused
+// shell's stale elements are never observed and need no zeroing — the
+// swap is a header rewrite, with no write barrier per element.
 func (h *Heap) Alloc(t *types.Type, n int) *Object {
 	if h.MaxLive > 0 && h.live >= h.MaxLive {
 		return nil
 	}
-	o := &Object{ID: h.nextID, Type: t, RC: 1, Elems: make([]Value, n)}
+	var o *Object
+	if k := len(h.pool); k > 0 {
+		o = h.pool[k-1]
+		h.pool[k-1] = nil
+		h.pool = h.pool[:k-1]
+		if cap(o.Elems) >= n {
+			*o = Object{ID: h.nextID, Type: t, RC: 1, Elems: o.Elems[:n]}
+		} else {
+			*o = Object{ID: h.nextID, Type: t, RC: 1, Elems: make([]Value, n)}
+		}
+	} else {
+		o = &Object{ID: h.nextID, Type: t, RC: 1, Elems: make([]Value, n)}
+	}
 	h.nextID++
 	h.live++
 	h.allocs++
@@ -155,6 +185,9 @@ func (h *Heap) free(o *Object) *Fault {
 				return f
 			}
 		}
+	}
+	if h.recycle {
+		h.pool = append(h.pool, o)
 	}
 	return nil
 }

@@ -259,7 +259,8 @@ func (b *hdmaDoneBinding) Ready(_ *vm.Machine) (int, bool) {
 
 func (b *hdmaDoneBinding) Take(m *vm.Machine, _ int) vm.Value {
 	tag := b.hostDone[0]
-	b.hostDone = b.hostDone[1:]
+	copy(b.hostDone, b.hostDone[1:])
+	b.hostDone = b.hostDone[:len(b.hostDone)-1]
 	return m.NewRecordV(b.doneT, vm.IntVal(tag))
 }
 
@@ -285,7 +286,8 @@ func (b *netSendBinding) Ready(_ *vm.Machine) bool { return b.n.SendDMAFree() }
 func (b *netSendBinding) Put(_ *vm.Machine, v vm.Value) {
 	(*espBridge)(b).sync()
 	e := v.Ref.Elems
-	p := &nic.Packet{
+	p := b.n.NewPacket()
+	*p = nic.Packet{
 		Src:    b.n.ID,
 		Dst:    int(e[9].Int),
 		Seq:    e[0].Int,

@@ -229,7 +229,9 @@ func (f *OrigFirmware) Run(n *nic.NIC) int64 {
 		// Explicit ack when due and nothing piggybacks.
 		if f.wantAck && len(f.staged) == 0 && n.SendDMAFree() {
 			f.charge(cPktHeader + cDMASetup)
-			n.SendPacket(&nic.Packet{Src: n.ID, IsAck: true, Ack: f.lastRecvSeq})
+			ack := n.NewPacket()
+			*ack = nic.Packet{Src: n.ID, IsAck: true, Ack: f.lastRecvSeq}
+			n.SendPacket(ack)
 			f.wantAck = false
 			progress = true
 		}
@@ -342,7 +344,8 @@ func (f *OrigFirmware) syncSM2() {
 // stageChunk queues a packet buffer for SM2.
 func (f *OrigFirmware) stageChunk(r *nic.HostRequest, off, size int) {
 	f.charge(cPktHeader + cQueueOp)
-	f.staged = append(f.staged, &nic.Packet{
+	p := f.n.NewPacket()
+	*p = nic.Packet{
 		Src:    f.n.ID,
 		Dst:    r.Dest,
 		MsgID:  r.MsgID,
@@ -351,12 +354,14 @@ func (f *OrigFirmware) stageChunk(r *nic.HostRequest, off, size int) {
 		Size:   size,
 		Total:  r.Size,
 		Last:   off+size >= r.Size,
-	})
+	}
+	f.staged = append(f.staged, p)
 }
 
 // sendChunkNow is the fast path's inline transmission.
 func (f *OrigFirmware) sendChunkNow(r *nic.HostRequest, off, size int) {
-	p := &nic.Packet{
+	p := f.n.NewPacket()
+	*p = nic.Packet{
 		Src:    f.n.ID,
 		Dst:    r.Dest,
 		MsgID:  r.MsgID,

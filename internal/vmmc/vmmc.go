@@ -66,7 +66,9 @@ func NewCluster(flavor Flavor, cfg nic.Config) (*Cluster, error) {
 	for i := 0; i < 2; i++ {
 		n := nic.New(i, k, cfg)
 		c.NICs[i] = n
-		c.Hosts[i] = &Host{ID: i, NIC: n, K: k}
+		c.Hosts[i] = &Host{ID: i, NIC: n, K: k,
+			Recvd:       make([]nic.Notification, 0, 16),
+			pendingReqs: make([]nic.HostRequest, 0, 4)}
 		n.OnNotify(c.Hosts[i].onNotify)
 	}
 	nic.Connect(c.NICs[0], c.NICs[1])
@@ -178,6 +180,26 @@ type Host struct {
 	OnRecv func(nic.Notification)
 
 	BytesRecvd int64
+
+	// pendingReqs holds request descriptors crossing the I/O bus. The bus
+	// delay is constant and the kernel fires equal-time events in schedule
+	// order, so a FIFO plus a handler event per post replaces the closure
+	// Send used to allocate per message.
+	pendingReqs []nic.HostRequest
+}
+
+// Fire implements sim.Handler: the oldest posted request descriptor has
+// crossed the I/O bus and lands in the NIC request queue.
+func (h *Host) Fire(int) {
+	r := h.pendingReqs[0]
+	copy(h.pendingReqs, h.pendingReqs[1:])
+	h.pendingReqs = h.pendingReqs[:len(h.pendingReqs)-1]
+	h.NIC.PostRequest(r)
+}
+
+func (h *Host) post(req nic.HostRequest) {
+	h.pendingReqs = append(h.pendingReqs, req)
+	h.K.AfterEvent(postDelayNs, h, 0)
 }
 
 // postDelayNs models the host-side cost of writing a request descriptor
@@ -189,15 +211,13 @@ const postDelayNs = 300
 func (h *Host) Send(vaddr, raddr int64, size int) int64 {
 	h.nextMsgID++
 	id := h.nextMsgID
-	req := nic.HostRequest{Dest: 1 - h.ID, VAddr: vaddr, RAddr: raddr, Size: size, MsgID: id}
-	h.K.After(postDelayNs, func() { h.NIC.PostRequest(req) })
+	h.post(nic.HostRequest{Dest: 1 - h.ID, VAddr: vaddr, RAddr: raddr, Size: size, MsgID: id})
 	return id
 }
 
 // Update posts a page-table update (vaddr -> paddr).
 func (h *Host) Update(vaddr, paddr int64) {
-	req := nic.HostRequest{IsUpdate: true, UpdVAddr: vaddr, UpdPAddr: paddr}
-	h.K.After(postDelayNs, func() { h.NIC.PostRequest(req) })
+	h.post(nic.HostRequest{IsUpdate: true, UpdVAddr: vaddr, UpdPAddr: paddr})
 }
 
 func (h *Host) onNotify(nt nic.Notification) {

@@ -1,37 +1,55 @@
 #!/bin/sh
 # Record the PR's headline benchmarks — firmware latency/bandwidth and
-# verifier throughput, baseline engine vs fused engine — into
-# BENCH_PR4.json at the repository root. Commit the file so performance
-# claims travel with the code.
+# verifier throughput across the three-tier engine matrix (baseline,
+# fused, process-fused) — into BENCH_PR6.json at the repository root.
+# Commit the file so performance claims travel with the code.
 #
 # Usage:
-#   scripts/bench.sh                 # engine-vs-engine numbers only
+#   scripts/bench.sh                 # full three-tier engine matrix
+#   scripts/bench.sh -fuse procfused # one tier only (the fusion axis:
+#                                    # baseline | fused | procfused, or
+#                                    # a comma list)
 #   scripts/bench.sh -seed <gitref>  # also benchmark the pre-PR commit
 #                                    # in a worktree and record the
-#                                    # fused-over-seed speedups
+#                                    # fused-over-seed and
+#                                    # procfused-over-seed speedups
 # Extra arguments are passed through to cmd/benchrec.
 set -eu
 cd "$(dirname "$0")/.."
 
+engines=""
 seed_file=""
 wt=""
-if [ "${1:-}" = "-seed" ]; then
-    ref="$2"
-    shift 2
-    wt=$(mktemp -d /tmp/espseed.XXXXXX)
-    git worktree add --detach --force "$wt" "$ref" >/dev/null
-    echo "benchmarking seed $ref ..." >&2
-    (cd "$wt" && go test -run xxx \
-        -bench 'Fig5aLatency/vmmcESP|Fig5bBandwidth/vmmcESP/1024B|VerifyMemSafety|VerifyFirmwareModel' \
-        -benchtime 2s .) | tee "$wt/seed_bench.txt" >&2
-    seed_file="$wt/seed_bench.txt"
-fi
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -fuse)
+        engines="$2"
+        shift 2
+        ;;
+    -seed)
+        ref="$2"
+        shift 2
+        wt=$(mktemp -d /tmp/espseed.XXXXXX)
+        git worktree add --detach --force "$wt" "$ref" >/dev/null
+        echo "benchmarking seed $ref ..." >&2
+        (cd "$wt" && go test -run xxx \
+            -bench 'Fig5aLatency/vmmcESP|Fig5bBandwidth/vmmcESP/1024B|VerifyMemSafety|VerifyFirmwareModel' \
+            -benchtime 2s .) | tee "$wt/seed_bench.txt" >&2
+        seed_file="$wt/seed_bench.txt"
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
 
-if [ -n "$seed_file" ]; then
-    go run ./cmd/benchrec -out BENCH_PR4.json -seed-bench "$seed_file" "$@"
-else
-    go run ./cmd/benchrec -out BENCH_PR4.json "$@"
+if [ -n "$engines" ]; then
+    set -- -engines "$engines" "$@"
 fi
+if [ -n "$seed_file" ]; then
+    set -- -seed-bench "$seed_file" "$@"
+fi
+go run ./cmd/benchrec -out BENCH_PR6.json "$@"
 
 if [ -n "$wt" ]; then
     git worktree remove --force "$wt"
