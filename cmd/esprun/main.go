@@ -1,8 +1,12 @@
 // Command esprun executes an ESP program on the bundled virtual machine,
 // binding its external channels to standard input and output:
 //
-//   - every external-writer channel with a single scalar-parameter
-//     interface case reads whitespace-separated integers from stdin;
+//   - whitespace-separated integers read from stdin are dealt round-robin
+//     to the external-writer channels in declaration order (the first
+//     integer to the first channel, the second to the second, wrapping
+//     around); every writer channel needs a single one-scalar interface
+//     case. Programs with no external-writer channel never touch stdin,
+//     so they run without blocking at an interactive terminal;
 //   - every external-reader channel prints "<channel>: <value>" lines.
 //
 // This is the quickest way to try a program:
@@ -26,6 +30,7 @@ import (
 func main() {
 	var (
 		maxObjects = flag.Int("max-objects", 4096, "live-object bound (0 = unlimited)")
+		maxCycles  = flag.Int64("max-cycles", 0, "total cycle budget; exceeding it is a step-budget fault (0 = unlimited — firmware runs forever)")
 		showStats  = flag.Bool("stats", false, "print machine statistics at exit")
 		showCycles = flag.Bool("cycles", false, "print consumed cycles at exit")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing; timestamps are VM cycles)")
@@ -60,7 +65,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
 		os.Exit(1)
 	}
-	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: *maxObjects, Engine: engine})
+	m := prog.Machine(esplang.MachineConfig{MaxLiveObjects: *maxObjects, MaxCycles: *maxCycles, Engine: engine})
 
 	var tr *obs.ChromeTracer
 	if *tracePath != "" {
@@ -73,52 +78,33 @@ func main() {
 		m.SetProfiler(prof)
 	}
 
-	// Read all stdin integers up front; feed them round-robin to the
-	// external writer channels in declaration order.
+	// Read all stdin integers up front — but only when the program has an
+	// external-writer channel to feed. A program with none would otherwise
+	// block forever at an interactive terminal waiting for EOF it never
+	// needs.
 	var inputs []int64
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Split(bufio.ScanWords)
-	for sc.Scan() {
-		v, err := strconv.ParseInt(sc.Text(), 10, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "esprun: bad input %q\n", sc.Text())
+	if hasExtWriter(prog) {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			v, err := strconv.ParseInt(sc.Text(), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "esprun: bad input %q\n", sc.Text())
+				os.Exit(1)
+			}
+			inputs = append(inputs, v)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "esprun: reading stdin: %v\n", err)
 			os.Exit(1)
 		}
-		inputs = append(inputs, v)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "esprun: reading stdin: %v\n", err)
+	if err := bindChannels(prog, m, inputs, func(name string) vm.ExternalReader {
+		return printReader{name}
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
 		os.Exit(1)
 	}
-
-	bound := false
-	for _, ch := range prog.IR.Channels {
-		switch ch.Ext {
-		case ir.ExtWriter:
-			if len(ch.Cases) != 1 || len(ch.Cases[0].ParamTypes) != 1 || !ch.Cases[0].ParamTypes[0].IsScalar() {
-				fmt.Fprintf(os.Stderr, "esprun: channel %s needs a single one-scalar interface case to read from stdin\n", ch.Name)
-				os.Exit(1)
-			}
-			q := &esplang.QueueWriter{}
-			for _, v := range inputs {
-				v := v
-				q.Push(0, func(*esplang.Machine) esplang.Value { return esplang.IntVal(v) })
-			}
-			inputs = nil // first writer channel consumes stdin
-			if err := m.BindWriter(ch.Name, q); err != nil {
-				fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
-				os.Exit(1)
-			}
-			bound = true
-		case ir.ExtReader:
-			name := ch.Name
-			if err := m.BindReader(ch.Name, printReader{name}); err != nil {
-				fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
-				os.Exit(1)
-			}
-		}
-	}
-	_ = bound
 
 	res := m.Run()
 
@@ -152,6 +138,61 @@ func main() {
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "stats: %s\n", m.Stats)
 	}
+}
+
+// hasExtWriter reports whether the program declares any external-writer
+// channel, i.e. whether esprun has anything to feed from stdin.
+func hasExtWriter(prog *esplang.Program) bool {
+	for _, ch := range prog.IR.Channels {
+		if ch.Ext == ir.ExtWriter {
+			return true
+		}
+	}
+	return false
+}
+
+// distributeInputs deals the stdin integers round-robin over n writer
+// channels in declaration order: input i goes to channel i mod n.
+func distributeInputs(inputs []int64, n int) [][]int64 {
+	feeds := make([][]int64, n)
+	for i, v := range inputs {
+		feeds[i%n] = append(feeds[i%n], v)
+	}
+	return feeds
+}
+
+// bindChannels attaches stdin-fed queue writers (round-robin over the
+// writer channels in declaration order) and newReader-built readers to
+// every external channel of the program.
+func bindChannels(prog *esplang.Program, m *esplang.Machine, inputs []int64, newReader func(name string) vm.ExternalReader) error {
+	var writers []*ir.Channel
+	for _, ch := range prog.IR.Channels {
+		switch ch.Ext {
+		case ir.ExtWriter:
+			if len(ch.Cases) != 1 || len(ch.Cases[0].ParamTypes) != 1 || !ch.Cases[0].ParamTypes[0].IsScalar() {
+				return fmt.Errorf("channel %s needs a single one-scalar interface case to read from stdin", ch.Name)
+			}
+			writers = append(writers, ch)
+		case ir.ExtReader:
+			if err := m.BindReader(ch.Name, newReader(ch.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(writers) == 0 {
+		return nil
+	}
+	for i, feed := range distributeInputs(inputs, len(writers)) {
+		q := &esplang.QueueWriter{}
+		for _, v := range feed {
+			v := v
+			q.Push(0, func(*esplang.Machine) esplang.Value { return esplang.IntVal(v) })
+		}
+		if err := m.BindWriter(writers[i].Name, q); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // printReader prints every received value.

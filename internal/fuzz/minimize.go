@@ -1,0 +1,237 @@
+package fuzz
+
+import (
+	"esplang/internal/ast"
+	"esplang/internal/parser"
+)
+
+// Minimize greedily shrinks src while keep(candidate) stays true —
+// classic delta debugging over the AST rather than over lines, so every
+// candidate is structurally plausible. keep is typically "the
+// differential report has the same failure signature" (Report.Key).
+//
+// The edit space, enumerated in a fixed traversal order: drop a
+// declaration, drop a statement, hoist a loop/conditional body into its
+// parent, drop an alt arm, replace a binary or unary expression by an
+// operand, and zero an integer literal. After any accepted edit the scan
+// restarts, so edits compose until a fixpoint or until maxAttempts
+// candidate evaluations.
+//
+// Minimize never returns a candidate that keep rejected; if src itself
+// does not parse, it is returned unchanged (AST edits need a tree).
+func Minimize(src string, keep func(string) bool, maxAttempts int) string {
+	attempts := 0
+	for {
+		improved := false
+		total := countEdits(src)
+		for site := 0; site < total && attempts < maxAttempts; site++ {
+			cand, ok := applyEdit(src, site)
+			if !ok || cand == src {
+				continue
+			}
+			attempts++
+			if keep(cand) {
+				src = cand
+				total = countEdits(src)
+				site = -1 // restart the scan on the smaller program
+				improved = true
+			}
+		}
+		if !improved || attempts >= maxAttempts {
+			return src
+		}
+	}
+}
+
+// countEdits parses src and counts the edit sites the editor enumerates.
+func countEdits(src string) int {
+	tree, err := parser.Parse([]byte(src))
+	if err != nil {
+		return 0
+	}
+	ed := &editor{target: -1}
+	ed.program(tree)
+	return ed.n
+}
+
+// applyEdit parses src fresh, applies the site-th edit, and prints the
+// result. A fresh parse per candidate keeps edits independent: rejected
+// candidates leave no trace.
+func applyEdit(src string, site int) (string, bool) {
+	tree, err := parser.Parse([]byte(src))
+	if err != nil {
+		return "", false
+	}
+	ed := &editor{target: site}
+	ed.program(tree)
+	if !ed.applied {
+		return "", false
+	}
+	return ast.Print(tree), true
+}
+
+// editor walks the tree in a deterministic order, counting edit sites;
+// when the counter hits target, the edit is performed in place.
+type editor struct {
+	target  int
+	n       int
+	applied bool
+}
+
+// hit advances the site counter and reports whether this site is the one
+// to apply.
+func (ed *editor) hit() bool {
+	ed.n++
+	if ed.n-1 == ed.target && !ed.applied {
+		ed.applied = true
+		return true
+	}
+	return false
+}
+
+func (ed *editor) program(p *ast.Program) {
+	for i := 0; i < len(p.Decls); i++ {
+		if ed.hit() {
+			p.Decls = append(p.Decls[:i], p.Decls[i+1:]...)
+			return
+		}
+	}
+	for _, d := range p.Decls {
+		if proc, ok := d.(*ast.ProcessDecl); ok {
+			ed.block(proc.Body)
+		}
+	}
+}
+
+func (ed *editor) block(b *ast.Block) {
+	for i := 0; i < len(b.Stmts); i++ {
+		if ed.hit() {
+			b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+			return
+		}
+		// Hoists: replace a compound statement by its body, preserving
+		// the surrounding statements.
+		switch s := b.Stmts[i].(type) {
+		case *ast.While:
+			if ed.hit() {
+				b.Stmts = spliceStmts(b.Stmts, i, s.Body.Stmts)
+				return
+			}
+		case *ast.If:
+			if ed.hit() {
+				b.Stmts = spliceStmts(b.Stmts, i, s.Then.Stmts)
+				return
+			}
+			if e, ok := s.Else.(*ast.Block); ok && ed.hit() {
+				b.Stmts = spliceStmts(b.Stmts, i, e.Stmts)
+				return
+			}
+		case *ast.Alt:
+			if len(s.Cases) > 1 {
+				for j := range s.Cases {
+					if ed.hit() {
+						s.Cases = append(s.Cases[:j], s.Cases[j+1:]...)
+						return
+					}
+				}
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		ed.stmt(s)
+	}
+}
+
+// spliceStmts replaces stmts[i] with the given replacement sequence.
+func spliceStmts(stmts []ast.Stmt, i int, repl []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(stmts)-1+len(repl))
+	out = append(out, stmts[:i]...)
+	out = append(out, repl...)
+	out = append(out, stmts[i+1:]...)
+	return out
+}
+
+func (ed *editor) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.Block:
+		ed.block(x)
+	case *ast.VarDecl:
+		x.Init = ed.expr(x.Init)
+	case *ast.Assign:
+		// Only the right-hand side: pattern edits on the left would
+		// change binding structure in ways the keep predicate rarely
+		// wants.
+		x.RHS = ed.expr(x.RHS)
+	case *ast.While:
+		if x.Cond != nil {
+			x.Cond = ed.expr(x.Cond)
+		}
+		ed.block(x.Body)
+	case *ast.If:
+		x.Cond = ed.expr(x.Cond)
+		ed.block(x.Then)
+		if x.Else != nil {
+			ed.stmt(x.Else)
+		}
+	case *ast.Comm:
+		if x.Dir == ast.Send {
+			x.Arg = ed.expr(x.Arg)
+		}
+	case *ast.Alt:
+		for _, c := range x.Cases {
+			if c.Guard != nil {
+				c.Guard = ed.expr(c.Guard)
+			}
+			if c.Comm.Dir == ast.Send {
+				c.Comm.Arg = ed.expr(c.Comm.Arg)
+			}
+			ed.block(c.Body)
+		}
+	case *ast.Assert:
+		x.X = ed.expr(x.X)
+	case *ast.Link:
+		x.X = ed.expr(x.X)
+	case *ast.Unlink:
+		x.X = ed.expr(x.X)
+	}
+}
+
+func (ed *editor) expr(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Binary:
+		if ed.hit() {
+			return x.X
+		}
+		if ed.hit() {
+			return x.Y
+		}
+		x.X = ed.expr(x.X)
+		x.Y = ed.expr(x.Y)
+	case *ast.Unary:
+		if ed.hit() {
+			return x.X
+		}
+		x.X = ed.expr(x.X)
+	case *ast.IntLit:
+		if x.Value != 0 && ed.hit() {
+			x.Value = 0
+		}
+	case *ast.Index:
+		x.X = ed.expr(x.X)
+		x.I = ed.expr(x.I)
+	case *ast.FieldSel:
+		x.X = ed.expr(x.X)
+	case *ast.RecordLit:
+		for i := range x.Elems {
+			x.Elems[i] = ed.expr(x.Elems[i])
+		}
+	case *ast.UnionLit:
+		x.Value = ed.expr(x.Value)
+	case *ast.ArrayLit:
+		x.Count = ed.expr(x.Count)
+		x.Init = ed.expr(x.Init)
+	case *ast.Cast:
+		x.X = ed.expr(x.X)
+	}
+	return e
+}

@@ -1,0 +1,153 @@
+package fuzz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"esplang/internal/ast"
+	"esplang/internal/parser"
+	"esplang/internal/token"
+)
+
+// Mutate parses src, applies n random AST mutations, and returns the
+// printed result. Mutations deliberately include type- and
+// protocol-breaking edits: a mutant that no longer compiles is a useful
+// checker-robustness probe, and one that still compiles is a near-miss
+// program for the engines. Deterministic under the seed.
+func Mutate(src string, seed int64, n int) (string, error) {
+	tree, err := parser.Parse([]byte(src))
+	if err != nil {
+		return "", fmt.Errorf("corpus program does not parse: %w", err)
+	}
+	mu := &mutator{r: rand.New(rand.NewSource(seed))}
+	mu.collect(tree)
+	for i := 0; i < n; i++ {
+		mu.apply()
+	}
+	return ast.Print(tree), nil
+}
+
+type mutator struct {
+	r *rand.Rand
+
+	ints     []*ast.IntLit
+	binaries []*ast.Binary
+	blocks   []*ast.Block
+	asserts  []*ast.Assert
+	ifs      []*ast.If
+	whiles   []*ast.While
+	comms    []*ast.Comm
+	channels []string
+}
+
+func (mu *mutator) collect(tree *ast.Program) {
+	for _, d := range tree.Decls {
+		if ch, ok := d.(*ast.ChannelDecl); ok {
+			mu.channels = append(mu.channels, ch.Name.Name)
+		}
+	}
+	ast.Walk(tree, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.InterfaceDecl:
+			return false // interface patterns must stay in sync with C stubs
+		case *ast.IntLit:
+			mu.ints = append(mu.ints, x)
+		case *ast.Binary:
+			mu.binaries = append(mu.binaries, x)
+		case *ast.Block:
+			if len(x.Stmts) > 0 {
+				mu.blocks = append(mu.blocks, x)
+			}
+		case *ast.Assert:
+			mu.asserts = append(mu.asserts, x)
+		case *ast.If:
+			mu.ifs = append(mu.ifs, x)
+		case *ast.While:
+			if x.Cond != nil {
+				mu.whiles = append(mu.whiles, x)
+			}
+		case *ast.Comm:
+			mu.comms = append(mu.comms, x)
+		}
+		return true
+	})
+}
+
+// opClasses groups operators so swaps stay type-plausible most of the
+// time (swapping into / and % is how division-by-zero mutants appear).
+var opClasses = [][]token.Kind{
+	{token.ADD, token.SUB, token.MUL, token.QUO, token.REM},
+	{token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ},
+	{token.LAND, token.LOR},
+}
+
+func (mu *mutator) apply() {
+	switch mu.r.Intn(7) {
+	case 0: // integer-literal boundary tweaks
+		if len(mu.ints) == 0 {
+			return
+		}
+		lit := mu.ints[mu.r.Intn(len(mu.ints))]
+		v := lit.Value
+		choices := []int64{v + 1, v - 1, -v, 0, 1, math.MaxInt64, math.MinInt64, v * 3}
+		lit.Value = choices[mu.r.Intn(len(choices))]
+	case 1: // operator swap within its class
+		if len(mu.binaries) == 0 {
+			return
+		}
+		b := mu.binaries[mu.r.Intn(len(mu.binaries))]
+		for _, class := range opClasses {
+			for _, op := range class {
+				if b.Op == op {
+					b.Op = class[mu.r.Intn(len(class))]
+					return
+				}
+			}
+		}
+	case 2: // statement delete / duplicate / swap
+		if len(mu.blocks) == 0 {
+			return
+		}
+		blk := mu.blocks[mu.r.Intn(len(mu.blocks))]
+		i := mu.r.Intn(len(blk.Stmts))
+		switch mu.r.Intn(3) {
+		case 0:
+			blk.Stmts = append(blk.Stmts[:i], blk.Stmts[i+1:]...)
+		case 1:
+			ns := make([]ast.Stmt, 0, len(blk.Stmts)+1)
+			ns = append(ns, blk.Stmts[:i+1]...)
+			ns = append(ns, blk.Stmts[i:]...)
+			blk.Stmts = ns
+		default:
+			j := mu.r.Intn(len(blk.Stmts))
+			blk.Stmts[i], blk.Stmts[j] = blk.Stmts[j], blk.Stmts[i]
+		}
+	case 3: // negate an assertion
+		if len(mu.asserts) == 0 {
+			return
+		}
+		a := mu.asserts[mu.r.Intn(len(mu.asserts))]
+		a.X = &ast.Unary{TokPos: a.TokPos, Op: token.NOT, X: a.X}
+	case 4: // swap an if's branches
+		if len(mu.ifs) == 0 {
+			return
+		}
+		s := mu.ifs[mu.r.Intn(len(mu.ifs))]
+		if e, ok := s.Else.(*ast.Block); ok {
+			s.Then, s.Else = e, s.Then
+		}
+	case 5: // negate a while condition
+		if len(mu.whiles) == 0 {
+			return
+		}
+		w := mu.whiles[mu.r.Intn(len(mu.whiles))]
+		w.Cond = &ast.Unary{TokPos: w.TokPos, Op: token.NOT, X: w.Cond}
+	case 6: // retarget a communication to another channel
+		if len(mu.comms) == 0 || len(mu.channels) < 2 {
+			return
+		}
+		c := mu.comms[mu.r.Intn(len(mu.comms))]
+		c.Chan = &ast.Ident{NamePos: c.Chan.NamePos, Name: mu.channels[mu.r.Intn(len(mu.channels))]}
+	}
+}

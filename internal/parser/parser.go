@@ -181,12 +181,16 @@ func (p *parser) constDecl() *ast.ConstDecl {
 	p.expect(token.ASSIGN)
 	neg := p.accept(token.SUB)
 	t := p.expect(token.INT)
-	v, err := strconv.ParseInt(t.Lit, 10, 64)
-	if err != nil {
-		p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
-	}
+	// Parse sign and magnitude as one value: the most negative int64's
+	// magnitude does not fit on its own, so negating after ParseInt would
+	// reject "const MIN = -9223372036854775808;".
+	lit := t.Lit
 	if neg {
-		v = -v
+		lit = "-" + lit
+	}
+	v, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		p.errorf(t.Pos, "invalid integer literal %q", lit)
 	}
 	p.expect(token.SEMICOLON)
 	return &ast.ConstDecl{TokPos: pos, Name: name, Value: v}
@@ -478,6 +482,12 @@ func (p *parser) commOp() *ast.Comm {
 // ---------------------------------------------------------------------------
 // Expressions
 
+// fitsInt64 reports whether a decimal integer literal parses as int64.
+func fitsInt64(lit string) bool {
+	_, err := strconv.ParseInt(lit, 10, 64)
+	return err == nil
+}
+
 func (p *parser) expr() ast.Expr { return p.binaryExpr(1) }
 
 func (p *parser) binaryExpr(minPrec int) ast.Expr {
@@ -501,6 +511,21 @@ func (p *parser) unaryExpr() ast.Expr {
 		pos := p.tok.Pos
 		op := p.tok.Kind
 		p.next()
+		if op == token.SUB && p.tok.Kind == token.INT {
+			// A minus-adjacent integer literal whose magnitude overflows
+			// int64 is parsed as one (negative) value, so the boundary
+			// literal -9223372036854775808 is expressible. In-range
+			// literals keep their Unary(-IntLit) shape.
+			if lit := p.tok.Lit; !fitsInt64(lit) {
+				t := p.tok
+				p.next()
+				v, err := strconv.ParseInt("-"+lit, 10, 64)
+				if err != nil {
+					p.errorf(t.Pos, "invalid integer literal %q", "-"+lit)
+				}
+				return &ast.IntLit{TokPos: pos, Value: v}
+			}
+		}
 		return &ast.Unary{TokPos: pos, Op: op, X: p.unaryExpr()}
 	}
 	return p.postfixExpr()

@@ -368,3 +368,66 @@ process p {
 		t.Error("while{} should have nil condition")
 	}
 }
+
+func TestParseIntBoundaryLiterals(t *testing.T) {
+	// The most negative int64 literal must parse: its magnitude does not
+	// fit in int64 on its own, so sign and magnitude parse as one value.
+	prog := parseOK(t, `
+const MIN = -9223372036854775808;
+const MAX = 9223372036854775807;
+channel c: int external reader
+process p {
+    $x: int = -9223372036854775808;
+    $y = 9223372036854775807;
+    $z = -9223372036854775807;
+    out( c, x + y + z);
+}
+`)
+	mn := prog.Decls[0].(*ast.ConstDecl)
+	if mn.Value != -9223372036854775808 {
+		t.Errorf("const MIN = %d, want int64 min", mn.Value)
+	}
+	mx := prog.Decls[1].(*ast.ConstDecl)
+	if mx.Value != 9223372036854775807 {
+		t.Errorf("const MAX = %d, want int64 max", mx.Value)
+	}
+	body := prog.Decls[3].(*ast.ProcessDecl).Body
+	x := body.Stmts[0].(*ast.VarDecl).Init.(*ast.IntLit)
+	if x.Value != -9223372036854775808 {
+		t.Errorf("$x initializer = %d, want int64 min", x.Value)
+	}
+	// In-range negative literals keep their Unary(-IntLit) shape, so the
+	// optimizer and cost model see the same tree as before.
+	z := body.Stmts[2].(*ast.VarDecl).Init.(*ast.Unary)
+	if lit := z.X.(*ast.IntLit); lit.Value != 9223372036854775807 {
+		t.Errorf("$z operand = %d, want int64 max", lit.Value)
+	}
+}
+
+func TestParseIntOutOfRangeLiterals(t *testing.T) {
+	// One past either boundary is rejected, not wrapped.
+	for _, src := range []string{
+		"process p { $x = 9223372036854775808; }",
+		"process p { $x = -9223372036854775809; }",
+		"const N = 9223372036854775808;\nprocess p { skip; }",
+		"const N = -9223372036854775809;\nprocess p { skip; }",
+		"process p { $x = 1 - 9223372036854775808; }",
+	} {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestPrintRoundTripIntMin(t *testing.T) {
+	src := "process p {\n    $x = -9223372036854775808;\n    assert( x < 0);\n}\n"
+	prog := parseOK(t, src)
+	once := ast.Print(prog)
+	prog2, err := Parse([]byte(once))
+	if err != nil {
+		t.Fatalf("printed form does not reparse: %v\n%s", err, once)
+	}
+	if twice := ast.Print(prog2); once != twice {
+		t.Errorf("printer not a fixpoint on int64 min:\n%s\n%s", once, twice)
+	}
+}

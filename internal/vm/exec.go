@@ -216,6 +216,10 @@ func (m *Machine) execBase(p *ProcInst) {
 				m.setFault(&Fault{Kind: FaultIndexOOB, Msg: fmt.Sprintf("array size %d is negative", count.Int)}, p)
 				return
 			}
+			if count.Int > MaxAllocElems {
+				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: fmt.Sprintf("array size %d exceeds the %d-element object limit", count.Int, MaxAllocElems)}, p)
+				return
+			}
 			o := m.heap.Alloc(t, int(count.Int))
 			if o == nil {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)

@@ -237,6 +237,10 @@ func (m *Machine) execFused(p *ProcInst) {
 				m.setFault(&Fault{Kind: FaultIndexOOB, Msg: fmt.Sprintf("array size %d is negative", count.Int)}, p)
 				return
 			}
+			if count.Int > MaxAllocElems {
+				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: fmt.Sprintf("array size %d exceeds the %d-element object limit", count.Int, MaxAllocElems)}, p)
+				return
+			}
 			o := m.heap.Alloc(fi.Type, int(count.Int))
 			if o == nil {
 				m.setFault(&Fault{Kind: FaultOutOfObjects, Msg: "allocation failed: live-object bound exceeded"}, p)

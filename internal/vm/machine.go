@@ -79,6 +79,16 @@ type Config struct {
 	// StepBudget bounds the instructions one process may execute between
 	// blocking points (runaway-loop guard). Zero means the default.
 	StepBudget int64
+	// MaxCycles, when positive, bounds the machine's total cycle meter:
+	// once exceeded, the next process resumption faults. StepBudget
+	// cannot catch a program that rendezvouses forever (each blocking
+	// point resets the per-process counter), so an infinite producer/
+	// consumer ping-pong runs — and a tracer accumulates — without
+	// bound. Cycle accounting is bit-identical across engines, so every
+	// engine truncates the same program at the same process and point.
+	// Zero means unlimited (the firmware default: a switch program is
+	// supposed to run forever).
+	MaxCycles int64
 	// Engine selects the interpreter (zero value: the fused engine).
 	Engine Engine
 }
@@ -208,9 +218,12 @@ func New(prog *ir.Program, cfg Config) *Machine {
 			m.sched = &m.schedStore
 		}
 		if !cfg.Manual {
-			// Recycle freed heap shells: the snapshot machinery of Manual
-			// machines owns object lifetimes, everything else is free to
-			// reuse them (observably identical on refcount-correct code).
+			// Recycle the element storage of freed objects: the snapshot
+			// machinery of Manual machines owns object lifetimes,
+			// everything else is free to reuse the backing arrays. Object
+			// shells are never reused (they tombstone dangling
+			// references), so this is observable on no program — buggy or
+			// not.
 			m.heap.recycle = true
 		}
 	}
@@ -358,6 +371,10 @@ func (m *Machine) RunReady() {
 		p := m.Procs[idx]
 		if p.Status != PReady {
 			continue // stale entry
+		}
+		if m.Config.MaxCycles > 0 && m.Cycles >= m.Config.MaxCycles {
+			m.setFault(&Fault{Kind: FaultStep, Msg: fmt.Sprintf("cycle budget exhausted: machine exceeded %d cycles", m.Config.MaxCycles)}, p)
+			return
 		}
 		if m.prof != nil && p.PC >= 0 && p.PC < len(p.Def.Code) {
 			// Attribute the switch to the line being resumed.

@@ -97,12 +97,17 @@ func (o *Object) String() string {
 // reused; freed objects keep their contents so use-after-free is
 // detectable, the property the verifier checks exhaustively (§5.2). The
 // process-fused engine turns on recycling (see Machine.New): freed
-// Object shells go on a free list and Alloc reuses them under a fresh
-// ID, so the hot allocate-send-free cycle stops hitting the Go
-// allocator. Recycling changes nothing observable — IDs, live counts,
-// Stats, and fault behavior on refcount-correct programs are identical —
-// and it stays off in Manual (model checker) machines, whose snapshot
-// machinery owns object lifetimes.
+// The element storage of freed objects goes on a free list and Alloc
+// reuses it, so the hot allocate-send-free cycle stops hitting the Go
+// allocator for the (dominant) backing arrays. The Object shell itself
+// is never reused: a freed shell survives as a permanent tombstone with
+// its original ID, type, and Freed flag, so a dangling reference in a
+// buggy program faults with exactly the same message as on a
+// non-recycling heap. (Recycling whole shells would let a stale
+// reference observe a *different, possibly live* object — the engines
+// would diverge on use-after-free programs, which the differential
+// fuzzer caught.) Recycling stays off in Manual (model checker)
+// machines, whose snapshot machinery owns object lifetimes.
 type Heap struct {
 	// MaxLive, when positive, bounds the number of simultaneously live
 	// objects. Exceeding it faults — the paper's way of catching leaks
@@ -121,11 +126,21 @@ type Heap struct {
 	// Machine.hookHeap).
 	onFree func()
 
-	// recycle enables the free list; pool holds freed shells awaiting
-	// reuse.
+	// recycle enables the free list; pool holds the element storage of
+	// freed objects awaiting reuse. Only the backing arrays are pooled —
+	// freed Object shells persist as tombstones (see the type comment).
 	recycle bool
-	pool    []*Object
+	pool    [][]Value
 }
+
+// MaxAllocElems bounds the element count of any single object — the
+// Go-VM counterpart of the C runtime's ESP_MAX_ELEMS. ESP targets
+// firmware-scale object tables; without a bound, a dynamic array size
+// like "#{ 9223372036854775807 -> 0 }" (a one-step fuzzer mutation of
+// any array literal) asks the host allocator for petabytes instead of
+// faulting. Exceeding it is an out-of-objects fault, the paper's
+// memory-exhaustion class (§5.2).
+const MaxAllocElems = 1 << 16
 
 // Live returns the number of currently live objects.
 func (h *Heap) Live() int { return h.live }
@@ -138,29 +153,25 @@ func (h *Heap) Frees() int64 { return h.frees }
 
 // Alloc creates a new object with reference count 1. It returns nil if
 // the live-object bound is exceeded (the caller faults). With recycling
-// on, a freed shell is reused when available — under a fresh ID, so the
-// object is indistinguishable from a new one. Contract: every caller
-// stores into all n elements before the object becomes reachable (records
-// pop every field, arrays store init into every slot), so a reused
-// shell's stale elements are never observed and need no zeroing — the
-// swap is a header rewrite, with no write barrier per element.
+// on, a freed object's element storage is reused when available; the
+// Object shell itself is always fresh, so freed shells keep tombstoning
+// their old identity. Contract: every caller stores into all n elements
+// before the object becomes reachable (records pop every field, arrays
+// store init into every slot), so reused stale elements are never
+// observed and need no zeroing.
 func (h *Heap) Alloc(t *types.Type, n int) *Object {
 	if h.MaxLive > 0 && h.live >= h.MaxLive {
 		return nil
 	}
-	var o *Object
-	if k := len(h.pool); k > 0 {
-		o = h.pool[k-1]
+	elems := []Value(nil)
+	if k := len(h.pool); k > 0 && cap(h.pool[k-1]) >= n {
+		elems = h.pool[k-1][:n]
 		h.pool[k-1] = nil
 		h.pool = h.pool[:k-1]
-		if cap(o.Elems) >= n {
-			*o = Object{ID: h.nextID, Type: t, RC: 1, Elems: o.Elems[:n]}
-		} else {
-			*o = Object{ID: h.nextID, Type: t, RC: 1, Elems: make([]Value, n)}
-		}
 	} else {
-		o = &Object{ID: h.nextID, Type: t, RC: 1, Elems: make([]Value, n)}
+		elems = make([]Value, n)
 	}
+	o := &Object{ID: h.nextID, Type: t, RC: 1, Elems: elems}
 	h.nextID++
 	h.live++
 	h.allocs++
@@ -186,8 +197,12 @@ func (h *Heap) free(o *Object) *Fault {
 			}
 		}
 	}
-	if h.recycle {
-		h.pool = append(h.pool, o)
+	if h.recycle && cap(o.Elems) > 0 {
+		// Donate the backing array to the pool but keep the slice header
+		// on the tombstone: faults on dangling references still print the
+		// original element count, and freed elements are never read (every
+		// access checks Freed first), so sharing the storage is safe.
+		h.pool = append(h.pool, o.Elems)
 	}
 	return nil
 }

@@ -874,3 +874,30 @@ func TestStepBudget(t *testing.T) {
 		t.Errorf("fault %v, want step budget", m.Fault().Kind)
 	}
 }
+
+// An infinite rendezvous loop resets the per-process step budget at
+// every blocking point, so only the total cycle budget can stop it. All
+// engines must truncate at the same process (cycle accounting is
+// bit-identical across them).
+func TestMaxCyclesStopsInfiniteRendezvous(t *testing.T) {
+	src := `
+channel c: int
+process spin { while (true) { out( c, 1); } }
+process drain { while (true) { in( c, $v); } }
+`
+	var faults []string
+	for _, eng := range []vm.Engine{vm.EngineBaseline, vm.EngineFused, vm.EngineProcFused} {
+		m := newMachine(t, src, vm.Config{MaxCycles: 50_000, Engine: eng})
+		if res := m.Run(); res != vm.RunFault {
+			t.Fatalf("engine %v: result %v, want fault", eng, res)
+		}
+		f := m.Fault()
+		if f.Kind != vm.FaultStep {
+			t.Fatalf("engine %v: fault %v, want step budget", eng, f.Kind)
+		}
+		faults = append(faults, f.Error())
+	}
+	if faults[0] != faults[1] || faults[1] != faults[2] {
+		t.Errorf("engines truncate at different points:\n%s\n%s\n%s", faults[0], faults[1], faults[2])
+	}
+}
