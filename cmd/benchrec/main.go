@@ -5,7 +5,10 @@
 // so performance claims are checked in, reproducible, and easy to diff
 // across commits:
 //
-//	go run ./cmd/benchrec -out BENCH_PR6.json
+// It also measures the flight recorder's hot-path overhead (the
+// VMThroughput workload with and without a recorder attached).
+//
+//	go run ./cmd/benchrec -out BENCH_PR8.json
 package main
 
 import (
@@ -14,11 +17,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
 	esplang "esplang"
 	"esplang/internal/nic"
+	"esplang/internal/obs"
 	"esplang/internal/vmmc"
 )
 
@@ -33,7 +38,7 @@ type Bench struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR6.json. The speedup maps compare
+// Report is the file layout of BENCH_PR8.json. The speedup maps compare
 // the engines inside this build (fused over baseline, and process-fused
 // over fused — the PR6 headline); SeedBenches and the vs-seed maps
 // (present when scripts/bench.sh was given a -seed ref) compare this
@@ -46,7 +51,13 @@ type Report struct {
 	Benches        []Bench            `json:"benchmarks"`
 	Speedups       map[string]float64 `json:"speedups_fused_over_baseline"`
 	SpeedupsPF     map[string]float64 `json:"speedups_procfused_over_fused"`
-	SeedBenches    []Bench            `json:"seed_benchmarks,omitempty"`
+	// RecorderOverhead is the flight recorder's hot-path cost per engine:
+	// VMThroughput/recorder over plain VMThroughput, as a percentage —
+	// the median of interleaved per-round ratios (see recordPair), so it
+	// is drift-corrected and may differ slightly from the ratio of the
+	// two best-of-N ns_per_op entries above.
+	RecorderOverhead map[string]float64 `json:"recorder_overhead_pct,omitempty"`
+	SeedBenches      []Bench            `json:"seed_benchmarks,omitempty"`
 	SpeedupsVsSeed map[string]float64 `json:"speedups_fused_over_seed,omitempty"`
 	SpeedupsPFSeed map[string]float64 `json:"speedups_procfused_over_seed,omitempty"`
 }
@@ -157,6 +168,26 @@ var workloads = []workload{
 			}
 		}
 	}},
+	{"VMThroughput/recorder", func(b *testing.B, engine esplang.Engine, _ esplang.VerifyOptions) {
+		// The same workload with a flight recorder attached; the gap to
+		// plain VMThroughput is the recorder's hot-path overhead. The
+		// recorder is reused across runs (the production pattern — one
+		// long-lived ring per deployment) so the measurement is the
+		// recording cost, not ring construction.
+		prog := vmProgram(b)
+		rec := obs.NewFlightRecorder(0)
+		for i := 0; i < b.N; i++ {
+			m := prog.Machine(esplang.MachineConfig{Engine: engine})
+			m.SetRecorder(rec)
+			if err := m.BindReader("done", &esplang.CollectReader{}); err != nil {
+				b.Fatal(err)
+			}
+			m.Run()
+			if f := m.Fault(); f != nil {
+				b.Fatal(f)
+			}
+		}
+	}},
 	{"Fig5aLatency/64B", func(b *testing.B, _ esplang.Engine, _ esplang.VerifyOptions) {
 		cfg := nic.DefaultConfig()
 		var last float64
@@ -236,6 +267,23 @@ var workloads = []workload{
 	}},
 }
 
+func findWorkload(name string) workload {
+	for _, w := range workloads {
+		if w.name == name {
+			return w
+		}
+	}
+	return workload{}
+}
+
+func runOnce(wl workload, engine esplang.Engine, vo esplang.VerifyOptions) testing.BenchmarkResult {
+	runtime.GC()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		wl.run(b, engine, vo)
+	})
+}
+
 // record runs one workload under one engine `repeat` times and keeps the
 // fastest run: best-of-N is the standard defense against scheduler and
 // frequency noise on shared machines, and both engines get the same
@@ -243,23 +291,49 @@ var workloads = []workload{
 func record(name string, engine esplang.Engine, repeat int) Bench {
 	vmmc.Engine = engine
 	vo := esplang.VerifyOptions{Engine: engine}
-	var wl workload
-	for _, w := range workloads {
-		if w.name == name {
-			wl = w
-		}
-	}
+	wl := findWorkload(name)
 	var r testing.BenchmarkResult
 	for i := 0; i < repeat; i++ {
-		runtime.GC()
-		got := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			wl.run(b, engine, vo)
-		})
+		got := runOnce(wl, engine, vo)
 		if i == 0 || got.NsPerOp() < r.NsPerOp() {
 			r = got
 		}
 	}
+	return toBench(name, engine, r)
+}
+
+// recordPair measures two workloads with their repeats interleaved
+// (off, on, off, on, ...) instead of all-off-then-all-on. For the
+// recorder-overhead pair the on/off *ratio* is the reported number, and
+// machine-speed drift — routine on shared runners — would bias a
+// sequential measurement. The returned ratio is the median of the
+// per-round on/off ratios: each round's two runs are seconds apart, so
+// drift cancels within a round, and the median discards rounds hit by
+// a scheduler hiccup. (Dividing two independent best-of-N values does
+// neither — the bests can come from different drift windows.) The
+// returned Benches are still best-of-N like every other workload.
+func recordPair(offName, onName string, engine esplang.Engine, repeat int) (Bench, Bench, float64) {
+	vmmc.Engine = engine
+	vo := esplang.VerifyOptions{Engine: engine}
+	offW, onW := findWorkload(offName), findWorkload(onName)
+	var offR, onR testing.BenchmarkResult
+	ratios := make([]float64, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		offGot := runOnce(offW, engine, vo)
+		onGot := runOnce(onW, engine, vo)
+		ratios = append(ratios, float64(onGot.NsPerOp())/float64(offGot.NsPerOp()))
+		if i == 0 || offGot.NsPerOp() < offR.NsPerOp() {
+			offR = offGot
+		}
+		if i == 0 || onGot.NsPerOp() < onR.NsPerOp() {
+			onR = onGot
+		}
+	}
+	sort.Float64s(ratios)
+	return toBench(offName, engine, offR), toBench(onName, engine, onR), ratios[len(ratios)/2]
+}
+
+func toBench(name string, engine esplang.Engine, r testing.BenchmarkResult) Bench {
 	rec := Bench{
 		Name:        name,
 		Engine:      engine.String(),
@@ -282,12 +356,26 @@ func record(name string, engine esplang.Engine, repeat int) Bench {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	repeat := flag.Int("repeat", 5, "runs per benchmark; the fastest is recorded")
 	seedBench := flag.String("seed-bench", "", "optional `go test -bench` output from the pre-PR commit to compare against")
 	engineList := flag.String("engines", "baseline,fused,procfused",
 		"comma-separated engine tiers to record (the fusion axis)")
+	only := flag.String("workloads", "",
+		"comma-separated workload name prefixes to record (default all)")
 	flag.Parse()
+
+	wanted := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, p := range strings.Split(*only, ",") {
+			if p = strings.TrimSpace(p); p != "" && strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
 
 	var engines []esplang.Engine
 	for _, name := range strings.Split(*engineList, ",") {
@@ -313,16 +401,36 @@ func main() {
 		SpeedupsPF: map[string]float64{},
 	}
 	byKey := map[string]Bench{}
+	recRatio := map[string]float64{}
+	report := func(rec Bench) {
+		rep.Benches = append(rep.Benches, rec)
+		byKey[rec.Name+"/"+rec.Engine] = rec
+		fmt.Printf("%-28s %-9s %12.0f ns/op %8d allocs/op", rec.Name, rec.Engine, rec.NsPerOp, rec.AllocsPerOp)
+		for k, v := range rec.Metrics {
+			fmt.Printf("  %s=%.1f", k, v)
+		}
+		fmt.Println()
+	}
 	for _, wl := range workloads {
-		for _, engine := range engines {
-			rec := record(wl.name, engine, *repeat)
-			rep.Benches = append(rep.Benches, rec)
-			byKey[rec.Name+"/"+rec.Engine] = rec
-			fmt.Printf("%-28s %-9s %12.0f ns/op %8d allocs/op", rec.Name, rec.Engine, rec.NsPerOp, rec.AllocsPerOp)
-			for k, v := range rec.Metrics {
-				fmt.Printf("  %s=%.1f", k, v)
+		if !wanted(wl.name) {
+			continue
+		}
+		switch wl.name {
+		case "VMThroughput":
+			// The recorder-overhead pair is measured interleaved (see
+			// recordPair) because its on/off ratio is the headline number.
+			for _, engine := range engines {
+				off, on, ratio := recordPair("VMThroughput", "VMThroughput/recorder", engine, *repeat)
+				report(off)
+				report(on)
+				recRatio[engine.String()] = ratio
 			}
-			fmt.Println()
+		case "VMThroughput/recorder":
+			// Recorded pairwise with VMThroughput above.
+		default:
+			for _, engine := range engines {
+				report(record(wl.name, engine, *repeat))
+			}
 		}
 	}
 	for _, wl := range workloads {
@@ -339,6 +447,14 @@ func main() {
 		}
 		if fs, ps := fused.Metrics["states/sec"], pfused.Metrics["states/sec"]; fs > 0 {
 			rep.SpeedupsPF[wl.name+"/states-per-sec"] = ps / fs
+		}
+	}
+	rep.RecorderOverhead = map[string]float64{}
+	for _, engine := range engines {
+		e := engine.String()
+		if ratio, ok := recRatio[e]; ok {
+			rep.RecorderOverhead[e] = (ratio - 1) * 100
+			fmt.Printf("recorder-overhead %-10s %+.1f%%\n", e, rep.RecorderOverhead[e])
 		}
 	}
 	if *seedBench != "" {

@@ -17,12 +17,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"esplang/internal/fuzz"
+	"esplang/internal/obs"
 )
 
 func main() {
@@ -37,6 +39,9 @@ func main() {
 		skipMC      = flag.Bool("no-mc", false, "skip the model-checker oracle stages")
 		verbose     = flag.Bool("v", false, "print every program's outcome")
 		maxFailures = flag.Int("max-failures", 20, "stop after this many distinct failures")
+		progress    = flag.Bool("progress", false, "print a periodic progress line to stderr (programs/s, compile rate, divergences)")
+		progressI   = flag.Duration("progress-interval", 5*time.Second, "interval between -progress lines")
+		telemetry   = flag.String("telemetry", "", "serve live telemetry on this address (e.g. 127.0.0.1:9464): /metrics, /statusz, /progress")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -46,8 +51,34 @@ func main() {
 	}
 	opts := fuzz.Options{MCMaxStates: *mcStates, SkipMC: *skipMC}
 
-	f := &fuzzer{opts: opts, out: *out, minBudget: *minBudget, verbose: *verbose, maxFailures: *maxFailures}
 	start := time.Now()
+	// Campaign counters live in a metrics registry so the stderr progress
+	// line and the telemetry server's /metrics report the same numbers.
+	reg := obs.NewMetrics()
+	f := &fuzzer{
+		opts: opts, out: *out, minBudget: *minBudget, verbose: *verbose, maxFailures: *maxFailures,
+		programs:    reg.Counter("fuzz_programs_total"),
+		compiled:    reg.Counter("fuzz_compiled_total"),
+		divergences: reg.Counter("fuzz_divergences_total"),
+		start:       start,
+	}
+	if *progress {
+		f.progressEvery = *progressI
+		f.lastProgress = start
+	}
+	if *telemetry != "" {
+		srv, err := obs.NewServer(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espfuzz: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.SetStatus(func(w io.Writer) {
+			fmt.Fprintf(w, "campaign: espfuzz seed=%d n=%d\n", *seed, *n)
+		})
+		srv.SetProgress(func(w io.Writer) { fmt.Fprintln(w, f.progressLine()) })
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", srv.Addr())
+	}
 
 	for i := 0; i < *n && !f.stop(); i++ {
 		g := fuzz.Generate(*seed + int64(i))
@@ -103,6 +134,17 @@ type fuzzer struct {
 	verbose     bool
 	maxFailures int
 
+	// The counters are shared with the telemetry server's registry, so
+	// progressLine may be called concurrently from an HTTP handler; it
+	// must only read these atomics and the immutable start time.
+	programs    *obs.Counter
+	compiled    *obs.Counter
+	divergences *obs.Counter
+	start       time.Time
+
+	progressEvery time.Duration // 0 = no stderr progress line
+	lastProgress  time.Time
+
 	total    int
 	failures int
 	outcomes map[string]int
@@ -110,15 +152,37 @@ type fuzzer struct {
 
 func (f *fuzzer) stop() bool { return f.failures >= f.maxFailures }
 
+// progressLine renders the campaign state: throughput, how many
+// generated programs made it past the front end, and divergences so far.
+func (f *fuzzer) progressLine() string {
+	n := f.programs.Value()
+	elapsed := time.Since(f.start)
+	rate := float64(n) / elapsed.Seconds()
+	compileRate := 0.0
+	if n > 0 {
+		compileRate = 100 * float64(f.compiled.Value()) / float64(n)
+	}
+	return fmt.Sprintf("espfuzz: %d programs in %v (%.1f/s), %.1f%% compile, %d divergence(s)",
+		n, elapsed.Round(time.Second), rate, compileRate, f.divergences.Value())
+}
+
 // one runs the differential oracle on a single program, minimizing and
 // persisting any failure.
 func (f *fuzzer) one(name, src string) {
 	f.total++
+	f.programs.Inc()
 	rep := fuzz.RunDifferential(name, src, f.opts)
 	if f.outcomes == nil {
 		f.outcomes = map[string]int{}
 	}
 	f.outcomes[rep.Outcome]++
+	if rep.Outcome != "parse-error" && rep.Outcome != "compile-error" {
+		f.compiled.Inc()
+	}
+	if f.progressEvery > 0 && time.Since(f.lastProgress) >= f.progressEvery {
+		f.lastProgress = time.Now()
+		fmt.Fprintln(os.Stderr, f.progressLine())
+	}
 	if f.verbose {
 		fmt.Printf("%s\n", rep)
 	}
@@ -126,6 +190,7 @@ func (f *fuzzer) one(name, src string) {
 		return
 	}
 	f.failures++
+	f.divergences.Inc()
 	fmt.Fprintf(os.Stderr, "FAIL %s\n%s\n", name, rep)
 
 	// Minimize while the failure signature is preserved. The

@@ -18,8 +18,10 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"time"
 
 	esplang "esplang"
 	"esplang/internal/ir"
@@ -39,6 +41,10 @@ func main() {
 		engineName = flag.String("engine", "fused", "execution engine: fused (superinstructions), procfused (adds static rendezvous scheduling), or baseline; identical semantics and cycle accounting")
 		fuse       = flag.Bool("fuse", false, "run the process-fused engine (shorthand for -engine procfused)")
 		noFuse     = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
+		flight     = flag.Int("flight", obs.DefaultRingSize, "flight-recorder ring size; the recorder is always on so a fault prints a postmortem of the last events (0 disables it)")
+		pmPath     = flag.String("postmortem", "", "write the full flight-recorder dump to this file at exit (obscheck -postmortem validates the format)")
+		telemetry  = flag.String("telemetry", "", "serve live telemetry on this address (e.g. 127.0.0.1:9464): /metrics, /statusz, /trace?last=N")
+		linger     = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run ends, so scrapers can collect final state")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,6 +82,28 @@ func main() {
 	if *profile {
 		prof = obs.NewProfiler(flag.Arg(0))
 		m.SetProfiler(prof)
+	}
+	var rec *obs.FlightRecorder
+	if *flight > 0 {
+		rec = obs.NewFlightRecorder(*flight)
+		m.SetRecorder(rec)
+	}
+	var srv *obs.Server
+	if *telemetry != "" {
+		reg := obs.NewMetrics()
+		m.SetMetrics(reg)
+		var err error
+		srv, err = obs.NewServer(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esprun: %v\n", err)
+			os.Exit(1)
+		}
+		srv.SetRecorder(rec)
+		progName, eng := flag.Arg(0), engine
+		srv.SetStatus(func(w io.Writer) {
+			fmt.Fprintf(w, "program: %s\nengine: %v\n", progName, eng)
+		})
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", srv.Addr())
 	}
 
 	// Read all stdin integers up front — but only when the program has an
@@ -128,8 +156,26 @@ func main() {
 		fmt.Fprint(os.Stderr, prof.Report(prog.Source, *profileTop))
 		fmt.Fprint(os.Stderr, prof.KindTable())
 	}
+	if *pmPath != "" && rec != nil {
+		if err := os.WriteFile(*pmPath, []byte(m.Postmortem(0)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "esprun: writing postmortem: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "postmortem: wrote %d events to %s\n", len(rec.Snapshot(0)), *pmPath)
+	}
+	if srv != nil {
+		if *linger > 0 {
+			time.Sleep(*linger)
+		}
+		srv.Close()
+	}
 	if res == vm.RunFault {
 		fmt.Fprintf(os.Stderr, "esprun: %v\n", m.Fault())
+		if rec != nil {
+			// The flight recorder was on: show what the machine was doing
+			// in the cycles leading up to the fault.
+			fmt.Fprint(os.Stderr, m.Postmortem(obs.PostmortemEvents))
+		}
 		os.Exit(1)
 	}
 	if *showCycles {

@@ -11,8 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	esplang "esplang"
@@ -39,6 +41,8 @@ func main() {
 		fuse      = flag.Bool("fuse", false, "drive the search with the process-fused engine (shorthand for -engine procfused)")
 		noFuse    = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
 		noVet     = flag.Bool("no-vet", false, "do not print espvet static-analysis findings before checking")
+		postmort  = flag.Bool("postmortem", false, "print the counterexample's flight-recorder postmortem (last events leading into the violation)")
+		telemetry = flag.String("telemetry", "", "serve live telemetry on this address (e.g. 127.0.0.1:9464): /metrics, /statusz, /progress")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,16 +88,52 @@ func main() {
 		NoDeadlockCheck: *noDead,
 		Engine:          engine,
 	}
-	if *progress {
-		opts.Progress = func(info esplang.ProgressInfo) {
-			fmt.Fprintln(os.Stderr, info)
-		}
-		opts.ProgressInterval = *progressI
-	}
 	var reg *obs.Metrics
-	if *metricsF != "" {
+	if *metricsF != "" || *telemetry != "" {
 		reg = obs.NewMetrics()
 		opts.Metrics = reg
+	}
+	var srv *obs.Server
+	if *telemetry != "" {
+		var err error
+		srv, err = obs.NewServer(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espverify: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		progName := flag.Arg(0)
+		srv.SetStatus(func(w io.Writer) {
+			fmt.Fprintf(w, "program: %s\nmode: %s\nengine: %v\n", progName, *mode, engine)
+		})
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", srv.Addr())
+	}
+	if *progress || srv != nil {
+		// The latest sample feeds both the stderr progress line and the
+		// telemetry server's /progress endpoint.
+		var mu sync.Mutex
+		var latest esplang.ProgressInfo
+		var have bool
+		opts.Progress = func(info esplang.ProgressInfo) {
+			mu.Lock()
+			latest, have = info, true
+			mu.Unlock()
+			if *progress {
+				fmt.Fprintln(os.Stderr, info)
+			}
+		}
+		opts.ProgressInterval = *progressI
+		if srv != nil {
+			srv.SetProgress(func(w io.Writer) {
+				mu.Lock()
+				defer mu.Unlock()
+				if !have {
+					fmt.Fprintln(w, "search not started")
+					return
+				}
+				fmt.Fprintln(w, latest)
+			})
+		}
 	}
 	switch *mode {
 	case "exhaustive":
@@ -134,6 +174,13 @@ func main() {
 		}
 		if f := prog.ConfirmFinding(res.Violation); f != nil {
 			fmt.Printf("confirms static finding: %s\n", f)
+		}
+		if *postmort && res.Violation.Postmortem != "" {
+			fmt.Println("postmortem (counterexample replay):")
+			fmt.Print(res.Violation.Postmortem)
+		}
+		if srv != nil {
+			srv.Close()
 		}
 		os.Exit(1)
 	}

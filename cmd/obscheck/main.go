@@ -3,11 +3,15 @@
 //
 //	obscheck -trace out.json      check a Chrome trace-event JSON file
 //	obscheck -metrics snap.json   check a metrics snapshot round-trips
+//	obscheck -postmortem dump.txt check a flight-recorder postmortem dump
 //
 // -trace verifies the file parses as trace-event JSON, every event has a
 // phase, and Begin/End spans balance on every track. -metrics verifies
 // the snapshot parses and survives a decode/encode round trip unchanged.
-// Any failure exits nonzero with a diagnostic.
+// -postmortem verifies the dump's header totals, monotonic timestamps,
+// consecutive sequence numbers, balanced process spans, and that the
+// per-kind event counts match the header. Any failure exits nonzero with
+// a diagnostic.
 package main
 
 import (
@@ -23,10 +27,11 @@ func main() {
 	var (
 		tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate")
 		metricsPath = flag.String("metrics", "", "metrics snapshot JSON file to validate")
+		pmPath      = flag.String("postmortem", "", "flight-recorder postmortem dump to validate")
 	)
 	flag.Parse()
-	if *tracePath == "" && *metricsPath == "" || flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-trace out.json] [-metrics snap.json]")
+	if *tracePath == "" && *metricsPath == "" && *pmPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-trace out.json] [-metrics snap.json] [-postmortem dump.txt]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -65,6 +70,18 @@ func main() {
 		}
 		fmt.Printf("%s: valid snapshot, %d counters, %d gauges, %d histograms\n",
 			*metricsPath, len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+
+	if *pmPath != "" {
+		data, err := os.ReadFile(*pmPath)
+		if err != nil {
+			fail(err)
+		}
+		n, err := obs.ValidatePostmortem(data)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *pmPath, err))
+		}
+		fmt.Printf("%s: valid postmortem, %d events\n", *pmPath, n)
 	}
 }
 

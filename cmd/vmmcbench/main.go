@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	esplang "esplang"
 	"esplang/internal/nic"
+	"esplang/internal/obs"
 	"esplang/internal/opt"
 	"esplang/internal/vmmc"
 )
@@ -29,6 +31,10 @@ var mcWorkers int
 
 // mcEngine is the -engine flag: the VM engine the verification runs use.
 var mcEngine esplang.Engine
+
+// mcMetrics, when -telemetry is set, routes the §5.3 verification
+// searches' counters into the telemetry registry.
+var mcMetrics *obs.Metrics
 
 func main() {
 	var (
@@ -44,6 +50,7 @@ func main() {
 		engN   = flag.String("engine", "fused", "VM engine for firmware runs and verification: fused, procfused, or baseline (figures and verdicts are engine-independent)")
 		fuse   = flag.Bool("fuse", false, "run firmware on the process-fused engine (shorthand for -engine procfused)")
 		noFuse = flag.Bool("no-fuse", false, "pin firmware to the plain fused engine (dynamic rendezvous only; shorthand for -engine fused)")
+		telem  = flag.String("telemetry", "", "serve live telemetry on this address (e.g. 127.0.0.1:9464): every cluster the run builds feeds one /metrics registry")
 	)
 	flag.Parse()
 	mcWorkers = *mcW
@@ -60,6 +67,24 @@ func main() {
 	}
 	vmmc.Engine = engine
 	mcEngine = engine
+
+	if *telem != "" {
+		// One registry aggregates every cluster built during the run (the
+		// vmmc.Metrics package hook) and the §5.3 verification searches.
+		reg := obs.NewMetrics()
+		vmmc.Metrics = reg
+		mcMetrics = reg
+		srv, err := obs.NewServer(*telem, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmmcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.SetStatus(func(w io.Writer) {
+			fmt.Fprintf(w, "campaign: vmmcbench\nengine: %v\n", engine)
+		})
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", srv.Addr())
+	}
 
 	if *trace != "" || *prof {
 		traceRun(*trace, *prof, *tsize, *round)
@@ -215,7 +240,7 @@ func tableLoc() {
 func tableVerify() {
 	fmt.Println("Table: verification statistics (§5.3)")
 	cfg := nic.DefaultConfig()
-	vo := esplang.VerifyOptions{Workers: mcWorkers, Engine: mcEngine}
+	vo := esplang.VerifyOptions{Workers: mcWorkers, Engine: mcEngine, Metrics: mcMetrics}
 
 	res, err := vmmc.VerifyFirmware(cfg, 2, vo)
 	die(err)

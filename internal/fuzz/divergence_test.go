@@ -1,0 +1,97 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/obs"
+)
+
+func runWithEvents(cfg string, kinds ...obs.EventKind) vmRun {
+	r := vmRun{cfg: cfg, render: "result: halt\n"}
+	for i, k := range kinds {
+		name := ""
+		if k == obs.EvRendezvous {
+			name = "reqC"
+		}
+		r.events = append(r.events, obs.Event{Seq: uint64(i), Ts: int64(i * 3), Kind: k, Proc: 1, Name: name})
+		r.render += k.String() + "\n"
+	}
+	return r
+}
+
+// TestSeededDivergenceNamesFirstEvent seeds an engine divergence (two
+// runs whose event streams split at a rendezvous) and asserts the bug
+// report names the first divergent event's coordinates — cycle, kind,
+// process, channel — and that the divergence signature lands in the
+// minimizer's bug key.
+func TestSeededDivergenceNamesFirstEvent(t *testing.T) {
+	a := runWithEvents("vm/opt/fused", obs.EvProcStart, obs.EvRendezvous, obs.EvProcStop)
+	b := runWithEvents("vm/opt/baseline", obs.EvProcStart, obs.EvAlloc, obs.EvProcStop)
+	// Divergence is at index 1: cycle 3, a rendezvous on reqC in the
+	// lead run, an alloc in the other.
+	rep := &Report{Name: "seeded", Outcome: "ok"}
+	rep.strictMatrix([]vmRun{a, b})
+
+	if len(rep.Bugs) != 1 {
+		t.Fatalf("got %d bugs, want 1: %+v", len(rep.Bugs), rep.Bugs)
+	}
+	bug := rep.Bugs[0]
+	if bug.Kind != "engine-divergence" {
+		t.Errorf("bug kind = %q, want engine-divergence", bug.Kind)
+	}
+	for _, want := range []string{
+		"first divergent event at index 1",
+		"cycle=3", "kind=rendezvous", "proc=1", "chan=reqC",
+	} {
+		if !strings.Contains(bug.Detail, want) {
+			t.Errorf("bug detail missing %q:\n%s", want, bug.Detail)
+		}
+	}
+	if bug.Event != "rendezvous/reqC" {
+		t.Errorf("bug event signature = %q, want rendezvous/reqC", bug.Event)
+	}
+	if !strings.Contains(rep.Key(), "@rendezvous/reqC") {
+		t.Errorf("report key %q does not carry the divergence signature", rep.Key())
+	}
+}
+
+// TestSeededPostmortemDivergence: identical renders but different fault
+// postmortems is its own bug class.
+func TestSeededPostmortemDivergence(t *testing.T) {
+	a := runWithEvents("vm/opt/fused", obs.EvProcStart, obs.EvFault)
+	b := runWithEvents("vm/opt/baseline", obs.EvProcStart, obs.EvFault)
+	a.pm = "# dump A"
+	b.pm = "# dump B"
+	rep := &Report{Name: "seeded", Outcome: "ok"}
+	rep.strictMatrix([]vmRun{a, b})
+	if len(rep.Bugs) != 1 || rep.Bugs[0].Kind != "postmortem-divergence" {
+		t.Fatalf("got %+v, want one postmortem-divergence bug", rep.Bugs)
+	}
+}
+
+// TestMatrixAgreementIsQuiet: equal runs produce no bugs.
+func TestMatrixAgreementIsQuiet(t *testing.T) {
+	a := runWithEvents("vm/opt/fused", obs.EvProcStart, obs.EvRendezvous, obs.EvProcStop)
+	b := runWithEvents("vm/opt/baseline", obs.EvProcStart, obs.EvRendezvous, obs.EvProcStop)
+	rep := &Report{Name: "ok", Outcome: "ok"}
+	rep.strictMatrix([]vmRun{a, b})
+	if len(rep.Bugs) != 0 {
+		t.Fatalf("agreeing runs produced bugs: %+v", rep.Bugs)
+	}
+}
+
+// TestDivergenceSigStableUnderShrink: the signature deliberately drops
+// cycle and process id — the coordinates a shrinking program perturbs —
+// keeping only kind and channel, so the minimizer predicate (Key match)
+// holds across shrinks.
+func TestDivergenceSigStableUnderShrink(t *testing.T) {
+	big := obs.Event{Seq: 90, Ts: 4096, Kind: obs.EvRendezvous, Proc: 7, Name: "reqC"}
+	small := obs.Event{Seq: 2, Ts: 12, Kind: obs.EvRendezvous, Proc: 0, Name: "reqC"}
+	if divergenceSig(big) != divergenceSig(small) {
+		t.Errorf("signature not shrink-stable: %q vs %q", divergenceSig(big), divergenceSig(small))
+	}
+	if got := divergenceSig(obs.Event{Kind: obs.EvAlloc, Proc: 3}); got != "alloc/-" {
+		t.Errorf("non-channel event signature = %q, want alloc/-", got)
+	}
+}

@@ -66,6 +66,13 @@ type Bug struct {
 	Kind   string // "panic", "engine-divergence", "mc-parallel-divergence", ...
 	Stage  string // which oracle stage observed it
 	Detail string
+	// Event is the divergence signature of an engine divergence: the
+	// kind and channel of the first divergent trace event ("rendezvous/c",
+	// "stop/-", ...). It feeds Report.Key, so the minimizer preserves not
+	// just that the engines diverged but where — while staying stable
+	// across shrinks (cycle counts and process ids move as the program
+	// shrinks; event kind and channel name do not).
+	Event string
 }
 
 // Report is the outcome of one differential run.
@@ -80,18 +87,27 @@ type Report struct {
 	// Notes records explained divergences (e.g. allocation-count
 	// differences between optimized and unoptimized code).
 	Notes []string
+	// Postmortem is the baseline engine's flight-recorder dump of the
+	// default-compile run when it faulted: the last events leading into
+	// the fault. It rides along on repro reports so a divergence repro
+	// shows not just what diverged but what the execution was doing.
+	Postmortem string
 }
 
 // Failed reports whether the oracle found a toolchain bug.
 func (r *Report) Failed() bool { return len(r.Bugs) > 0 }
 
-// Key is a stable failure signature — the sorted set of Kind/Stage pairs
-// — used by the minimizer to preserve "the same bug" while shrinking.
+// Key is a stable failure signature — the sorted set of Kind/Stage
+// pairs, each extended with the divergence signature when one is known —
+// used by the minimizer to preserve "the same bug" while shrinking.
 func (r *Report) Key() string {
 	seen := map[string]bool{}
 	var ks []string
 	for _, b := range r.Bugs {
 		k := b.Kind + "/" + b.Stage
+		if b.Event != "" {
+			k += "@" + b.Event
+		}
 		if !seen[k] {
 			seen[k] = true
 			ks = append(ks, k)
@@ -115,6 +131,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, " — %d bug(s)\n", len(r.Bugs))
 	for _, bug := range r.Bugs {
 		fmt.Fprintf(&b, "  [%s @ %s]\n%s\n", bug.Kind, bug.Stage, indent(bug.Detail))
+	}
+	if r.Postmortem != "" {
+		fmt.Fprintf(&b, "  postmortem (baseline engine, last %d events):\n%s\n", obs.PostmortemEvents, indent(r.Postmortem))
 	}
 	return b.String()
 }
@@ -275,33 +294,23 @@ func RunDifferential(name, src string, opts Options) *Report {
 	rep.guard("dump-schedule", func() { _ = full.DumpSchedule() })
 
 	// --- Stage: VM engine matrix ----------------------------------------
-	type vmRun struct {
-		cfg    string
-		render string
-	}
 	// Engines are compared strictly only against runs of the SAME
 	// compiled program; opt vs fusion-off crosses two instruction
 	// streams, which agree byte-for-byte except when the step budget
 	// truncates execution (the two streams then cut off at different
 	// points — an explained resource artifact, not a semantics bug).
-	strictMatrix := func(rs []vmRun) {
-		for _, r := range rs[1:] {
-			if r.render != rs[0].render {
-				rep.addBug("engine-divergence", r.cfg,
-					fmt.Sprintf("--- %s ---\n%s--- %s ---\n%s", rs[0].cfg, rs[0].render, r.cfg, r.render))
-			}
-		}
-	}
+	// strictMatrix (below) pinpoints the first divergent event.
 	runMatrix := func(cfgName string, prog *esplang.Program) []vmRun {
 		var rs []vmRun
 		for _, eng := range allEngines {
 			stage := fmt.Sprintf("vm/%s/%s", cfgName, engineName(eng))
-			var render string
-			if rep.guard(stage, func() { render = runVM(prog, eng, opts) }) {
-				rs = append(rs, vmRun{cfg: stage, render: render})
+			var run vmRun
+			if rep.guard(stage, func() { run = runVM(prog, eng, opts) }) {
+				run.cfg = stage
+				rs = append(rs, run)
 			}
 		}
-		strictMatrix(rs)
+		rep.strictMatrix(rs)
 		return rs
 	}
 	runs := runMatrix("opt", full)
@@ -318,26 +327,14 @@ func RunDifferential(name, src string, opts Options) *Report {
 	}
 	if len(runs) > 0 {
 		rep.Outcome = outcomeOf(runs[0].render)
+		rep.Postmortem = runs[0].pm
 	}
 
 	// Optimized vs unoptimized: fault message and outputs must match
 	// (cycles and statistics legitimately differ). The optimizer may
 	// elide allocations, so out-of-objects faults are exempt.
 	if noopt != nil && nooptErr == nil {
-		var nooptRuns []vmRun
-		for _, eng := range allEngines {
-			stage := fmt.Sprintf("vm/noopt/%s", engineName(eng))
-			var render string
-			if rep.guard(stage, func() { render = runVM(noopt, eng, opts) }) {
-				nooptRuns = append(nooptRuns, vmRun{cfg: stage, render: render})
-			}
-		}
-		for _, r := range nooptRuns[1:] {
-			if r.render != nooptRuns[0].render {
-				rep.addBug("engine-divergence", r.cfg,
-					fmt.Sprintf("--- %s ---\n%s--- %s ---\n%s", nooptRuns[0].cfg, nooptRuns[0].render, r.cfg, r.render))
-			}
-		}
+		nooptRuns := runMatrix("noopt", noopt)
 		if len(runs) > 0 && len(nooptRuns) > 0 {
 			a, b := equivalenceView(runs[0].render), equivalenceView(nooptRuns[0].render)
 			if a != b {
@@ -484,19 +481,82 @@ func isClosed(p *esplang.Program) bool {
 	return true
 }
 
+// vmRun is one engine execution: the rendered observables, the recorded
+// event stream (for first-divergent-event reporting), and the fault
+// postmortem (empty for clean runs).
+type vmRun struct {
+	cfg    string
+	render string
+	events []obs.Event
+	pm     string
+}
+
+// strictMatrix compares engine runs of the SAME compiled program, where
+// every observable must agree byte-for-byte. On a render divergence the
+// recorded event streams pinpoint the first divergent event (cycle,
+// kind, process, channel) — far more actionable than "the trace hashes
+// differ" — and its kind/channel signature becomes part of the bug key,
+// so minimization preserves the specific divergence. When the renders
+// agree, the rendered fault postmortems are cross-checked for
+// bit-identity.
+func (rep *Report) strictMatrix(rs []vmRun) {
+	if len(rs) == 0 {
+		return
+	}
+	for _, r := range rs[1:] {
+		if r.render != rs[0].render {
+			detail := fmt.Sprintf("--- %s ---\n%s--- %s ---\n%s", rs[0].cfg, rs[0].render, r.cfg, r.render)
+			sig := ""
+			if div := obs.FormatDivergence(rs[0].cfg, rs[0].events, r.cfg, r.events); div != "" {
+				detail = div + "\n" + detail
+				i := obs.DiffTraces(rs[0].events, r.events)
+				lead := rs[0].events
+				if i >= len(lead) {
+					lead = r.events
+				}
+				sig = divergenceSig(lead[i])
+			}
+			rep.Bugs = append(rep.Bugs, Bug{Kind: "engine-divergence", Stage: r.cfg, Detail: detail, Event: sig})
+		} else if r.pm != rs[0].pm {
+			// Renders (including the trace hash) agree but the rendered
+			// postmortems do not — the postmortem path itself broke.
+			rep.addBug("postmortem-divergence", r.cfg,
+				fmt.Sprintf("--- %s ---\n%s--- %s ---\n%s", rs[0].cfg, rs[0].pm, r.cfg, r.pm))
+		}
+	}
+}
+
+// divergenceSig reduces a divergent event to the coordinates that stay
+// stable while the minimizer shrinks the program: kind and channel.
+func divergenceSig(e obs.Event) string {
+	ch := "-"
+	switch e.Kind {
+	case obs.EvRendezvous, obs.EvPoll:
+		ch = e.Name
+	}
+	return e.Kind.String() + "/" + ch
+}
+
 // runVM executes the program under one engine with deterministic
 // external bindings and renders everything observable: run result, fault
 // (with file:line), cycle meter, statistics (DirectXfers zeroed — the
 // one deliberate cross-engine difference), per-channel outputs, and a
-// hash of the trace-event stream.
-func runVM(prog *esplang.Program, engine esplang.Engine, opts Options) string {
+// hash of the recorded event stream. The raw events ride along so a
+// divergence names its first divergent event, and a faulting run carries
+// its flight-recorder postmortem — the strict matrix requires it to be
+// bit-identical across engines, and espfuzz attaches it to the repro
+// report.
+func runVM(prog *esplang.Program, engine esplang.Engine, opts Options) vmRun {
 	m := prog.Machine(esplang.MachineConfig{
 		MaxLiveObjects: opts.MaxLiveObjects,
 		StepBudget:     opts.StepBudget,
 		MaxCycles:      opts.MaxCycles,
 		Engine:         engine,
 	})
-	tr := newTraceRecorder(m)
+	log := obs.NewEventLog()
+	m.SetTracer(log)
+	rec := obs.NewFlightRecorder(0)
+	m.SetRecorder(rec)
 	readers := bindExternals(prog, m, opts.InputsPerChannel)
 	res := m.Run()
 
@@ -522,8 +582,22 @@ func runVM(prog *esplang.Program, engine esplang.Engine, opts Options) string {
 		}
 		b.WriteString("\n")
 	}
-	fmt.Fprintf(&b, "trace: %s\n", tr.sum())
-	return b.String()
+	fmt.Fprintf(&b, "trace: %s\n", eventSum(log.Events()))
+	out := vmRun{render: b.String(), events: log.Events()}
+	if m.Fault() != nil {
+		out.pm = m.Postmortem(obs.PostmortemEvents)
+	}
+	return out
+}
+
+// eventSum hashes an event stream for the strict engine comparison: the
+// full timeline is covered without keeping every byte in the report.
+func eventSum(evs []obs.Event) string {
+	h := fnv.New64a()
+	for _, e := range evs {
+		fmt.Fprintln(h, e)
+	}
+	return fmt.Sprintf("%d events, fnv %x", len(evs), h.Sum64())
 }
 
 // bindExternals attaches a CollectReader to every external-reader
@@ -725,25 +799,3 @@ func diffDetail(a, b string) string {
 	return fmt.Sprintf("--- first ---\n%s\n--- second ---\n%s", a, b)
 }
 
-// traceRecorder hashes the Chrome trace-event stream of a run so the
-// engine comparison covers the full observable timeline without keeping
-// every byte in the report.
-type traceRecorder struct {
-	tr *obs.ChromeTracer
-}
-
-func newTraceRecorder(m *esplang.Machine) *traceRecorder {
-	t := &traceRecorder{tr: obs.NewChromeTracer(1)}
-	m.SetTracer(t.tr)
-	return t
-}
-
-func (t *traceRecorder) sum() string {
-	var b strings.Builder
-	if err := t.tr.Write(&b); err != nil {
-		return "error: " + err.Error()
-	}
-	h := fnv.New64a()
-	h.Write([]byte(b.String()))
-	return fmt.Sprintf("%d events, fnv %x", t.tr.Len(), h.Sum64())
-}

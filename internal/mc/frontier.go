@@ -197,7 +197,10 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 	m0 := newMachine(prog, opts)
 	m0.Settle()
 	if f := m0.Fault(); f != nil {
-		res.Violation = &Violation{Fault: f}
+		// Faults before any communication: replay with no choices to get
+		// the postmortem of the initial settle.
+		_, pm := replayTrace(prog, opts, nil)
+		res.Violation = &Violation{Fault: f, Postmortem: pm}
 		return
 	}
 	visited.TryAdd(m0.EncodeState())
@@ -252,10 +255,12 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 	res.MemBytes = visited.MemBytes()
 	if s.vio != nil {
 		choices := append(s.vio.parent.choices(), s.vio.last)
+		trace, pm := replayTrace(prog, opts, choices)
 		res.Violation = &Violation{
-			Fault:    s.vio.fault,
-			Deadlock: s.vio.deadlock,
-			Trace:    replayTrace(prog, opts, choices),
+			Fault:      s.vio.fault,
+			Deadlock:   s.vio.deadlock,
+			Trace:      trace,
+			Postmortem: pm,
 		}
 	}
 }
@@ -295,6 +300,7 @@ func (s *search) progressLoop(start time.Time, done chan struct{}) {
 			MaxDepth:    s.maxDepth.Load(),
 			MemBytes:    s.visited.MemBytes(),
 			Elapsed:     now.Sub(start),
+			MaxStates:   s.opts.MaxStates,
 			Final:       final,
 		}
 		if dt := now.Sub(prevT).Seconds(); dt > 0 {
@@ -494,13 +500,17 @@ func (s *search) observeDepth(d int) {
 // points is deterministic, so the replay passes through exactly the
 // states the search saw (vm.Machine.ReplayComms is the same loop without
 // the per-step bookkeeping).
-func replayTrace(prog *ir.Program, opts Options, choices []vm.CommChoice) []TraceStep {
+// A flight recorder rides along on the replay machine, so every
+// counterexample comes with a postmortem of the events leading into the
+// violation — the search itself stays recorder-free.
+func replayTrace(prog *ir.Program, opts Options, choices []vm.CommChoice) ([]TraceStep, string) {
 	m := newMachine(prog, opts)
+	m.SetRecorder(obs.NewFlightRecorder(0))
 	m.Settle()
 	steps := make([]TraceStep, 0, len(choices))
 	for _, c := range choices {
 		steps = append(steps, newStep(m, prog, c))
 		m.FireComm(c)
 	}
-	return steps
+	return steps, m.Postmortem(obs.PostmortemEvents)
 }

@@ -121,6 +121,9 @@ type ProgressInfo struct {
 	// StatesPerSec is the discovery rate since the previous sample (0 on
 	// the first when no time has passed).
 	StatesPerSec float64
+	// MaxStates is the search's state bound, so progress consumers can
+	// estimate how far a truncating run still has to go.
+	MaxStates int
 	// Final marks the last sample, taken after the workers stopped.
 	Final bool
 }
@@ -130,9 +133,28 @@ func (p ProgressInfo) String() string {
 	if p.Final {
 		tag = "done"
 	}
-	return fmt.Sprintf("%s: %d states, %d transitions, frontier %d, depth %d, %.0f states/s, %.1f MB, %v",
+	s := fmt.Sprintf("%s: %d states, %d transitions, frontier %d, depth %d, %.0f states/s, %.1f MB, %v",
 		tag, p.States, p.Transitions, p.Frontier, p.MaxDepth, p.StatesPerSec,
 		float64(p.MemBytes)/(1024*1024), p.Elapsed.Round(time.Millisecond))
+	if eta, ok := p.ETA(); ok {
+		s += fmt.Sprintf(", eta %v to max-states", eta.Round(time.Second))
+	}
+	return s
+}
+
+// ETA estimates how long until the search hits MaxStates at the current
+// discovery rate. It reports false on final samples, when no bound or
+// rate is known, or when the bound is already reached — searches that
+// finish early simply never hit it.
+func (p ProgressInfo) ETA() (time.Duration, bool) {
+	if p.Final || p.MaxStates <= 0 || p.StatesPerSec <= 0 {
+		return 0, false
+	}
+	remaining := int64(p.MaxStates) - p.States
+	if remaining <= 0 {
+		return 0, false
+	}
+	return time.Duration(float64(remaining) / p.StatesPerSec * float64(time.Second)), true
 }
 
 func (o *Options) fill() {
@@ -177,6 +199,11 @@ type Violation struct {
 	Deadlock bool
 	// Trace is the sequence of communications from the initial state.
 	Trace []TraceStep
+	// Postmortem is the flight-recorder dump of the counterexample
+	// replay: the last events (rendezvous, context switches, allocs, the
+	// fault) leading into the violation, in the obs text dump format.
+	// Empty for violations found by modes that do not replay.
+	Postmortem string
 }
 
 func (v *Violation) String() string {
@@ -335,11 +362,14 @@ func simulate(prog *ir.Program, opts Options, res *Result) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for run := 0; run < opts.SimRuns && res.Violation == nil; run++ {
 		m := newMachine(prog, opts)
+		// Each walk carries a flight recorder so a violation's last events
+		// are in hand without a replay.
+		m.SetRecorder(obs.NewFlightRecorder(0))
 		m.Settle()
 		var trace []TraceStep
 		for depth := 0; depth < opts.MaxDepth; depth++ {
 			if f := m.Fault(); f != nil {
-				res.Violation = &Violation{Fault: f, Trace: trace}
+				res.Violation = &Violation{Fault: f, Trace: trace, Postmortem: m.Postmortem(obs.PostmortemEvents)}
 				break
 			}
 			if m.AllHalted() {
@@ -348,7 +378,7 @@ func simulate(prog *ir.Program, opts Options, res *Result) {
 			comms := m.EnabledComms()
 			if len(comms) == 0 {
 				if stuck(m, opts) {
-					res.Violation = &Violation{Deadlock: true, Trace: trace}
+					res.Violation = &Violation{Deadlock: true, Trace: trace, Postmortem: m.Postmortem(obs.PostmortemEvents)}
 				}
 				break
 			}
@@ -362,7 +392,7 @@ func simulate(prog *ir.Program, opts Options, res *Result) {
 			}
 		}
 		if f := m.Fault(); f != nil && res.Violation == nil {
-			res.Violation = &Violation{Fault: f, Trace: trace}
+			res.Violation = &Violation{Fault: f, Trace: trace, Postmortem: m.Postmortem(obs.PostmortemEvents)}
 		}
 		res.States += len(trace) // states along walks (not deduplicated)
 	}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffTraces compares two recorded event streams and returns the index
+// of the first event at which they diverge, or -1 when they are
+// identical (same length, every field of every event equal). When one
+// stream is a strict prefix of the other, the divergence index is the
+// shorter length.
+func DiffTraces(a, b []Event) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// eventChan names the channel an event concerns, or "-" when the kind
+// carries no channel.
+func eventChan(e Event) string {
+	switch e.Kind {
+	case EvRendezvous, EvPoll:
+		return e.Name
+	}
+	return "-"
+}
+
+// describeEvent renders the coordinates a divergence report leads with:
+// cycle, kind, process, and channel.
+func describeEvent(e Event) string {
+	return fmt.Sprintf("cycle=%d kind=%s proc=%d chan=%s", e.Ts, e.Kind, e.Proc, eventChan(e))
+}
+
+// FormatDivergence renders the first divergence between two event
+// streams: a summary line naming the cycle, kind, process, and channel
+// of the first divergent event, then both sides' raw events (or a note
+// that one stream ended). It returns "" when the streams are identical.
+// aLabel/bLabel name the two executions (e.g. engine names).
+func FormatDivergence(aLabel string, a []Event, bLabel string, b []Event) string {
+	i := DiffTraces(a, b)
+	if i < 0 {
+		return ""
+	}
+	var sb strings.Builder
+	lead := a
+	if i >= len(a) {
+		lead = b
+	}
+	fmt.Fprintf(&sb, "first divergent event at index %d: %s\n", i, describeEvent(lead[i]))
+	side := func(label string, evs []Event) {
+		if i < len(evs) {
+			fmt.Fprintf(&sb, "  %s: %s\n", label, evs[i])
+		} else {
+			fmt.Fprintf(&sb, "  %s: (stream ends after %d events)\n", label, len(evs))
+		}
+	}
+	side(aLabel, a)
+	side(bLabel, b)
+	return strings.TrimRight(sb.String(), "\n")
+}

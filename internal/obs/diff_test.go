@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func evs(kinds ...EventKind) []Event {
+	out := make([]Event, len(kinds))
+	for i, k := range kinds {
+		out[i] = Event{Seq: uint64(i), Ts: int64(i), Kind: k, Proc: 0, Name: "c"}
+	}
+	return out
+}
+
+func TestDiffTraces(t *testing.T) {
+	a := evs(EvProcStart, EvRendezvous, EvProcStop)
+	if got := DiffTraces(a, a); got != -1 {
+		t.Errorf("identical traces: DiffTraces = %d, want -1", got)
+	}
+
+	b := evs(EvProcStart, EvAlloc, EvProcStop)
+	if got := DiffTraces(a, b); got != 1 {
+		t.Errorf("kind mismatch at 1: DiffTraces = %d, want 1", got)
+	}
+
+	// A strict prefix diverges at the shorter length.
+	if got := DiffTraces(a, a[:2]); got != 2 {
+		t.Errorf("prefix: DiffTraces = %d, want 2", got)
+	}
+	if got := DiffTraces(a[:2], a); got != 2 {
+		t.Errorf("prefix (swapped): DiffTraces = %d, want 2", got)
+	}
+
+	// Same kind, different channel.
+	c := evs(EvProcStart, EvRendezvous, EvProcStop)
+	c[1].Name = "other"
+	if got := DiffTraces(a, c); got != 1 {
+		t.Errorf("channel mismatch: DiffTraces = %d, want 1", got)
+	}
+
+	if got := DiffTraces(nil, nil); got != -1 {
+		t.Errorf("empty traces: DiffTraces = %d, want -1", got)
+	}
+}
+
+func TestFormatDivergence(t *testing.T) {
+	a := evs(EvProcStart, EvRendezvous, EvProcStop)
+	b := evs(EvProcStart, EvAlloc, EvProcStop)
+	out := FormatDivergence("fused", a, "baseline", b)
+	// The report names the first divergent event's coordinates: cycle,
+	// kind, proc, and channel.
+	for _, want := range []string{
+		"first divergent event at index 1",
+		"cycle=1", "kind=rendezvous", "proc=0", "chan=c",
+		"fused:", "baseline:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("divergence report missing %q:\n%s", want, out)
+		}
+	}
+
+	if got := FormatDivergence("a", a, "b", a); got != "" {
+		t.Errorf("identical traces: FormatDivergence = %q, want empty", got)
+	}
+
+	// One stream a strict prefix of the other: the report says so.
+	out = FormatDivergence("long", a, "short", a[:1])
+	if !strings.Contains(out, "stream ends after 1 events") {
+		t.Errorf("prefix divergence report missing stream-end note:\n%s", out)
+	}
+}

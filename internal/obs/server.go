@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Server is the live telemetry endpoint of a long-running ESP campaign:
+// a plain-HTTP server that exposes the metrics registry, a status page,
+// a progress line, and a flight-recorder snapshot while the run is still
+// in flight. It is attached by the CLIs' -telemetry flag (esprun,
+// espverify, espfuzz, vmmcbench).
+//
+// Endpoints:
+//
+//	/             index of the endpoints below
+//	/metrics      Prometheus text exposition of the registry
+//	/metrics.json the same registry as a JSON snapshot
+//	/statusz      process status: uptime, goroutines, heap, custom status
+//	/progress     the campaign's latest progress line (SetProgress)
+//	/trace?last=N Chrome trace JSON of the flight recorder's last N events
+//
+// All handlers are read-only and safe to scrape while the instrumented
+// run is executing.
+type Server struct {
+	reg   *Metrics
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+
+	mu       sync.Mutex
+	rec      *FlightRecorder
+	status   func(w io.Writer)
+	progress func(w io.Writer)
+}
+
+// NewServer starts a telemetry server listening on addr (host:port;
+// port 0 picks a free one — see Addr) serving the given registry.
+// Close shuts it down.
+func NewServer(addr string, reg *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{reg: reg, ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/trace", s.handleTrace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// SetRecorder attaches the flight recorder served by /trace.
+func (s *Server) SetRecorder(r *FlightRecorder) {
+	s.mu.Lock()
+	s.rec = r
+	s.mu.Unlock()
+}
+
+// SetStatus attaches an extra status section rendered at the end of
+// /statusz.
+func (s *Server) SetStatus(fn func(w io.Writer)) {
+	s.mu.Lock()
+	s.status = fn
+	s.mu.Unlock()
+}
+
+// SetProgress attaches the /progress renderer — typically the latest
+// model-checker ProgressInfo or fuzz-campaign progress line.
+func (s *Server) SetProgress(fn func(w io.Writer)) {
+	s.mu.Lock()
+	s.progress = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	io.WriteString(w, "esp telemetry\n\n/metrics\n/metrics.json\n/statusz\n/progress\n/trace?last=N\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "uptime: %s\ngoroutines: %d\nheap: %d bytes\n",
+		time.Since(s.start).Round(time.Millisecond), runtime.NumGoroutine(), ms.HeapAlloc)
+	s.mu.Lock()
+	fn := s.status
+	s.mu.Unlock()
+	if fn != nil {
+		fn(w)
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.progress
+	s.mu.Unlock()
+	if fn == nil {
+		http.Error(w, "no progress source attached", http.StatusServiceUnavailable)
+		return
+	}
+	fn(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rec := s.rec
+	s.mu.Unlock()
+	if rec == nil {
+		http.Error(w, "no flight recorder attached", http.StatusServiceUnavailable)
+		return
+	}
+	last := 0
+	if v := r.URL.Query().Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad last parameter", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rec.WriteChrome(w, last)
+}

@@ -154,7 +154,17 @@ type Machine struct {
 	// source line of the instruction being executed, maintained only while
 	// a profiler is installed. allIdx caches the all-processes index list
 	// the bit-mask candidate scan returns, built lazily on first use.
-	tracer  obs.Tracer
+	tracer obs.Tracer
+	rec    *obs.FlightRecorder
+	// Pre-packed Record arguments, built by SetRecorder so every trace
+	// site is two loads and a call: PA(id, 0) words by proc ID, and NK
+	// words (kind + interned name) by proc ID, channel ID, or status.
+	// recStop is indexed p.Status&7 so the bounds check folds away.
+	recPA    []uint64
+	recStart []uint64
+	recStop  [8]uint64
+	recRend  []uint64
+	recPoll  []uint64
 	prof    *obs.Profiler
 	clock   func() int64
 	curLine int
@@ -309,12 +319,17 @@ func (m *Machine) setFault(f *Fault, p *ProcInst) {
 		f.File = m.Prog.File
 	}
 	m.flt = f
-	if m.tracer != nil {
+	if m.tracer != nil || m.rec != nil {
 		proc := -1
 		if p != nil {
 			proc = p.ID
 		}
-		m.tracer.Fault(m.now(), proc, f.Msg)
+		if m.tracer != nil {
+			m.tracer.Fault(m.now(), proc, f.Msg)
+		}
+		if m.rec != nil {
+			m.rec.Fault(m.now(), proc, f.Msg)
+		}
 	}
 }
 
@@ -386,10 +401,22 @@ func (m *Machine) RunReady() {
 			m.mCtx.Inc()
 			m.mReady.Observe(int64(len(m.ready)))
 		}
-		if m.tracer != nil {
-			m.tracer.ProcStart(m.now(), p.ID, p.Def.Name)
+		if m.tracer != nil || m.rec != nil {
+			ts := m.now()
+			if m.tracer != nil {
+				m.tracer.ProcStart(ts, p.ID, p.Def.Name)
+			}
+			if m.rec != nil {
+				m.rec.Record(ts, m.recPA[p.ID], m.recStart[p.ID])
+			}
 			m.exec(p)
-			m.tracer.ProcStop(m.now(), p.ID, p.Status.String())
+			ts = m.now()
+			if m.tracer != nil {
+				m.tracer.ProcStop(ts, p.ID, p.Status.String())
+			}
+			if m.rec != nil {
+				m.rec.Record(ts, m.recPA[p.ID], m.recStop[p.Status&7])
+			}
 			continue
 		}
 		m.exec(p)

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"strings"
+
 	"esplang/internal/obs"
 )
 
@@ -19,6 +21,91 @@ func (m *Machine) SetTracer(t obs.Tracer) { m.tracer = t }
 // installed, every CostModel charge is attributed to the source line of
 // the instruction being executed (PR 1's spans).
 func (m *Machine) SetProfiler(p *obs.Profiler) { m.prof = p }
+
+// SetRecorder installs (or removes, with nil) a flight recorder: a
+// fixed-size ring buffer fed from the same event sites as the tracer.
+// Unlike a profiler it does not force the baseline interpreter loop, so
+// it is cheap enough to leave attached in production; Postmortem renders
+// its last events after a fault. Clones do not inherit it (like every
+// other observability sink).
+//
+// Every name the machine can emit — channel names, process names,
+// scheduling statuses — is interned into the recorder here, and the
+// Record argument words (obs.PA, obs.NK) are packed ahead of time, so
+// the recording hot path is two table loads and a call: it never
+// touches a string and never shifts a bit.
+func (m *Machine) SetRecorder(r *obs.FlightRecorder) {
+	m.rec = r
+	if r == nil {
+		m.recPA, m.recStart, m.recRend, m.recPoll = nil, nil, nil, nil
+		return
+	}
+	m.recRend = make([]uint64, len(m.Prog.Channels))
+	m.recPoll = make([]uint64, len(m.Prog.Channels))
+	for i, ch := range m.Prog.Channels {
+		id := r.Intern(ch.Name)
+		m.recRend[i] = obs.NK(obs.EvRendezvous, id)
+		m.recPoll[i] = obs.NK(obs.EvPoll, id)
+	}
+	m.recPA = make([]uint64, len(m.Procs))
+	m.recStart = make([]uint64, len(m.Procs))
+	for i, p := range m.Procs {
+		m.recPA[i] = obs.PA(int32(p.ID), 0)
+		m.recStart[i] = obs.NK(obs.EvProcStart, r.Intern(p.Def.Name))
+	}
+	for s := PReady; s <= PHalted; s++ {
+		m.recStop[s&7] = obs.NK(obs.EvProcStop, r.Intern(s.String()))
+	}
+}
+
+// Recorder returns the attached flight recorder (nil when none).
+func (m *Machine) Recorder() *obs.FlightRecorder { return m.rec }
+
+// chargeTable decomposes the cycle meter into the CostModel charge
+// classes from the event counters: count × unit cost per class, which is
+// exact because every chargeEv site charges a whole unit (DeepCopy
+// charges per word, and Stats.DeepCopied counts words). The profiler
+// proves this identity per line; here it gives postmortems their charge
+// attribution without touching the hot path.
+func (m *Machine) chargeTable() (cycles, counts [obs.NumKinds]int64) {
+	set := func(k obs.Kind, n, unit int64) {
+		counts[k] = n
+		cycles[k] = n * unit
+	}
+	set(obs.KindInstr, m.Stats.Instrs, m.Cost.PerInstr)
+	set(obs.KindCtxSwitch, m.Stats.CtxSwitches, m.Cost.CtxSwitch)
+	set(obs.KindRendezvous, m.Stats.Rendezvous, m.Cost.Rendezvous)
+	set(obs.KindAlloc, m.Stats.Allocs, m.Cost.Alloc)
+	set(obs.KindRefOp, m.Stats.RefOps, m.Cost.RefOp)
+	set(obs.KindPattern, m.Stats.PatternNodes, m.Cost.PatternNode)
+	set(obs.KindMaskCheck, m.Stats.MaskChecks, m.Cost.MaskCheck)
+	set(obs.KindQueueOp, m.Stats.QueueOps, m.Cost.QueueOp)
+	set(obs.KindPoll, m.Stats.Polls, m.Cost.ExternalPoll)
+	set(obs.KindDeepCopy, m.Stats.DeepCopied, m.Cost.DeepCopyWord)
+	return cycles, counts
+}
+
+// Postmortem renders the flight recorder's last `last` events (all
+// retained events when last <= 0) as the text dump format, headed by the
+// machine's fault if any and the cycle meter's per-class charge
+// decomposition. It returns "" when no recorder is attached. Because
+// event timestamps are cycle counts and both cycle and Stats accounting
+// are bit-identical across engines, the same faulting program yields a
+// byte-identical postmortem under every engine.
+func (m *Machine) Postmortem(last int) string {
+	if m.rec == nil {
+		return ""
+	}
+	m.rec.Sync() // publish staged events; Postmortem runs on the VM's goroutine
+	d := m.rec.Dump(last)
+	if m.flt != nil {
+		d.Fault = m.flt.Error()
+	}
+	d.ChargeCycles, d.ChargeCounts = m.chargeTable()
+	var sb strings.Builder
+	d.Write(&sb)
+	return sb.String()
+}
 
 // SetClock installs the timestamp source for trace events. Nil (the
 // default) timestamps events with the machine's cycle counter; the NIC
@@ -78,6 +165,9 @@ func (m *Machine) traceRendezvous(chanID, sender, receiver int) {
 	if m.tracer != nil {
 		m.tracer.Rendezvous(m.now(), m.Prog.Channels[chanID].Name, sender, receiver)
 	}
+	if m.rec != nil {
+		m.rec.Record(m.now(), obs.PA(int32(sender), int32(receiver)), m.recRend[chanID])
+	}
 }
 
 // traceAlloc reports one heap allocation (proc -1 = no process context).
@@ -88,6 +178,9 @@ func (m *Machine) traceAlloc(proc int) {
 	if m.tracer != nil {
 		m.tracer.Alloc(m.now(), proc, m.heap.live)
 	}
+	if m.rec != nil {
+		m.rec.Record(m.now(), obs.PA(int32(proc), int32(m.heap.live)), obs.NK(obs.EvAlloc, 0))
+	}
 }
 
 // tracePoll reports one readiness poll of an external binding.
@@ -97,6 +190,9 @@ func (m *Machine) tracePoll(chanID int) {
 	}
 	if m.tracer != nil {
 		m.tracer.Poll(m.now(), m.Prog.Channels[chanID].Name)
+	}
+	if m.rec != nil {
+		m.rec.Record(m.now(), obs.PA(-1, 0), m.recPoll[chanID])
 	}
 }
 
@@ -112,6 +208,9 @@ func (m *Machine) hookHeap() {
 		}
 		if m.tracer != nil {
 			m.tracer.Free(m.now(), -1, m.heap.live)
+		}
+		if m.rec != nil {
+			m.rec.Record(m.now(), obs.PA(-1, int32(m.heap.live)), obs.NK(obs.EvFree, 0))
 		}
 	}
 }

@@ -38,6 +38,14 @@ const maxLiveObjects = 512
 // same cycle cost model.
 var Engine = vm.EngineFused
 
+// Metrics, when non-nil, is attached to every cluster NewCluster builds
+// (sim-kernel and firmware-VM instruments, no tracer or profiler). The
+// benchmark drivers construct fresh clusters per iteration deep inside
+// their loops, so a package hook — like Engine above — is how a
+// long-running campaign (vmmcbench -telemetry) aggregates them all into
+// one scrapeable registry.
+var Metrics *obs.Metrics
+
 // fwCache caches compiled firmware programs by NIC configuration:
 // benchmark loops construct a fresh NIC pair (and firmware) per
 // iteration, and both recompiling the identical program and even

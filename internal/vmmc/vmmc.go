@@ -79,6 +79,9 @@ func NewCluster(flavor Flavor, cfg nic.Config) (*Cluster, error) {
 		}
 		c.NICs[i].FW = fw
 	}
+	if Metrics != nil {
+		c.AttachObs(nil, nil, Metrics)
+	}
 	return c, nil
 }
 

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Record the PR's headline benchmarks — firmware latency/bandwidth and
 # verifier throughput across the three-tier engine matrix (baseline,
-# fused, process-fused) — into BENCH_PR6.json at the repository root.
+# fused, process-fused) — into BENCH_PR8.json at the repository root.
 # Commit the file so performance claims travel with the code.
 #
 # Usage:
@@ -49,7 +49,7 @@ fi
 if [ -n "$seed_file" ]; then
     set -- -seed-bench "$seed_file" "$@"
 fi
-go run ./cmd/benchrec -out BENCH_PR6.json "$@"
+go run ./cmd/benchrec -out BENCH_PR8.json "$@"
 
 if [ -n "$wt" ]; then
     git worktree remove --force "$wt"
