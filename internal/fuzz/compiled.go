@@ -1,0 +1,204 @@
+// The compiled-engine oracle stage: the default-compiled program is
+// handed to the Go backend, built with the host toolchain, and run in a
+// generated subprocess with the exact inputs bindExternals feeds the
+// in-process engines — the input scripts are mirrored as wire trees the
+// child rebuilds children-first, so allocation charges and trace events
+// line up. The render must be byte-identical to the baseline engine's.
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	esplang "esplang"
+	"esplang/internal/gobackend"
+	"esplang/internal/ir"
+	"esplang/internal/types"
+)
+
+// treeFromPat is buildFromPat as a wire-tree constructor: the same
+// pattern-directed synthesis and the same deterministic feed sequence,
+// producing the serialized form of the value the in-process harness
+// would build.
+func treeFromPat(t *types.Type, p *ir.Pat, ctr *int64) *gobackend.Tree {
+	switch t.Kind {
+	case types.Int:
+		if p != nil && p.Kind == ir.PatConst {
+			return gobackend.Scalar(p.Val)
+		}
+		return gobackend.Scalar(nextFeed(ctr))
+	case types.Bool:
+		if p != nil && p.Kind == ir.PatConst {
+			return gobackend.Scalar(boolInt(p.Val != 0))
+		}
+		return gobackend.Scalar(boolInt(nextFeed(ctr)%2 == 0))
+	case types.Record:
+		elems := make([]*gobackend.Tree, len(t.Fields))
+		for i, f := range t.Fields {
+			var sub *ir.Pat
+			if p != nil && p.Kind == ir.PatRecord && i < len(p.Elems) {
+				sub = p.Elems[i]
+			}
+			elems[i] = treeFromPat(f.Type, sub, ctr)
+		}
+		return gobackend.Record(t.ID(), elems...)
+	case types.Union:
+		tag := 0
+		var sub *ir.Pat
+		if p != nil && p.Kind == ir.PatUnion {
+			tag = p.Tag
+			if len(p.Elems) > 0 {
+				sub = p.Elems[0]
+			}
+		}
+		return gobackend.Union(t.ID(), tag, treeFromPat(t.Fields[tag].Type, sub, ctr))
+	case types.Array:
+		n := int(t.Bound)
+		if n <= 0 {
+			n = 4
+		}
+		return gobackend.Array(t.ID(), n, gobackend.Scalar(nextFeed(ctr)))
+	}
+	return gobackend.Scalar(0)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// compiledRequest mirrors bindExternals as a wire request: every
+// external reader collects, every external writer with interface cases
+// is fed perChannel pattern-synthesized messages cycling the cases.
+func compiledRequest(prog *esplang.Program, opts Options, trace bool) *gobackend.Request {
+	req := &gobackend.Request{
+		MaxLive:    opts.MaxLiveObjects,
+		StepBudget: opts.StepBudget,
+		MaxCycles:  opts.MaxCycles,
+		Trace:      trace,
+		Writers:    map[string][]gobackend.Item{},
+		Readers:    map[string]int{},
+	}
+	for _, ch := range prog.IR.Channels {
+		switch ch.Ext {
+		case ir.ExtReader:
+			req.Readers[ch.Name] = 0
+		case ir.ExtWriter:
+			if len(ch.Cases) == 0 {
+				continue // nothing external could legally feed this channel
+			}
+			items := make([]gobackend.Item, opts.InputsPerChannel)
+			ctr := int64(0)
+			for i := range items {
+				caseIdx := i % len(ch.Cases)
+				items[i] = gobackend.Item{
+					Case: caseIdx,
+					Val:  treeFromPat(ch.Elem, ch.Cases[caseIdx].Pat, &ctr),
+				}
+			}
+			req.Writers[ch.Name] = items
+		}
+	}
+	return req
+}
+
+// runCompiled builds the generated package for prog and runs it with
+// the mirrored inputs, rendering the result exactly as runVM does. With
+// trace false the child machine runs quiet, which routes statically
+// paired processes through the generated fused fast path; the render
+// then carries no trace line.
+func runCompiled(name string, prog *esplang.Program, opts Options, trace bool) (string, error) {
+	runner, err := gobackend.BuildProgram(prog, gobackend.BuildOptions{
+		Name: name, File: name + ".esp", VerifyIR: true,
+	})
+	if err != nil {
+		return "", err
+	}
+	res, err := runner.Run(compiledRequest(prog, opts, trace))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "result: %v\n", res.Result)
+	if res.Fault != nil {
+		fmt.Fprintf(&b, "fault: %v\n", res.Fault)
+	} else {
+		b.WriteString("fault: none\n")
+	}
+	st := res.Stats
+	st.DirectXfers = 0
+	fmt.Fprintf(&b, "cycles: %d\nstats: %+v\n", res.Cycles, st)
+	for _, ch := range prog.IR.Channels {
+		vals, ok := res.Outputs[ch.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:", ch.Name)
+		for _, v := range vals {
+			b.WriteString(" ")
+			b.WriteString(renderSnap(v))
+		}
+		b.WriteString("\n")
+	}
+	if trace {
+		fmt.Fprintf(&b, "trace: %s\n", res.Trace)
+	}
+	return b.String(), nil
+}
+
+// stripTrace drops the trailing "trace: ..." line from a render so a
+// traced baseline can be compared against a quiet run.
+func stripTrace(render string) string {
+	if i := strings.LastIndex(render, "trace: "); i >= 0 && strings.HasSuffix(render, "\n") {
+		return render[:i]
+	}
+	return render
+}
+
+// compiledStage cross-checks the compiled engine against the baseline
+// render, twice: a traced run (the child attaches an event log, general
+// per-process functions, trace digests compared) and a quiet run (no
+// observers, so the generated fused fast path executes; everything but
+// the trace line must still match). Build failures and run failures are
+// distinct bug kinds (the backend broke, not the semantics); a render
+// mismatch is the same engine-divergence class the in-process matrix
+// reports; a missing toolchain is an explained Note, not a failure.
+func (rep *Report) compiledStage(name string, prog *esplang.Program, baseline string, opts Options) {
+	const stage = "vm/opt/compiled"
+	rep.guard(stage, func() {
+		render, err := runCompiled(name, prog, opts, true)
+		var berr *gobackend.BuildError
+		switch {
+		case errors.Is(err, gobackend.ErrNoToolchain):
+			rep.Notes = append(rep.Notes, "compiled oracle skipped: no Go toolchain on PATH")
+			return
+		case errors.As(err, &berr):
+			rep.addBug("compiled-build-failure", stage, berr.Error())
+			return
+		case err != nil:
+			rep.addBug("compiled-run-failure", stage, err.Error())
+			return
+		case render != baseline:
+			rep.Bugs = append(rep.Bugs, Bug{
+				Kind:   "engine-divergence",
+				Stage:  stage,
+				Detail: fmt.Sprintf("--- vm/opt/%v ---\n%s--- %s ---\n%s", esplang.EngineBaseline, baseline, stage, render),
+			})
+		}
+		const qstage = "vm/opt/compiled-quiet"
+		quiet, err := runCompiled(name, prog, opts, false)
+		switch {
+		case err != nil:
+			rep.addBug("compiled-run-failure", qstage, err.Error())
+		case quiet != stripTrace(baseline):
+			rep.Bugs = append(rep.Bugs, Bug{
+				Kind:   "engine-divergence",
+				Stage:  qstage,
+				Detail: fmt.Sprintf("--- vm/opt/%v ---\n%s--- %s ---\n%s", esplang.EngineBaseline, stripTrace(baseline), qstage, quiet),
+			})
+		}
+	})
+}

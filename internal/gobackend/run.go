@@ -1,0 +1,180 @@
+// Driving generated binaries: the parent sends one line of JSON on the
+// child's stdin (machine config, repeat count, and the external-channel
+// inputs as serialized value trees) and reads one line of JSON back
+// (run result, fault, cycle meter, Stats, output snapshots, and the
+// trace hash). Both sides declare structurally identical wire structs —
+// the generated main package cannot import this one — and the reply is
+// reconstructed here into the vm's own types so callers compare
+// compiled runs against in-process engines with no translation layer.
+package gobackend
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+
+	"esplang/internal/token"
+	"esplang/internal/vm"
+)
+
+// Tree is the wire form of one external input value, serialized by
+// dense type id. The child rebuilds trees depth-first, children before
+// parents — the same order the in-process harnesses' Build closures
+// construct values — so allocation charges and trace events line up
+// bit-for-bit.
+type Tree struct {
+	K string  // "s" scalar, "r" record, "u" union, "a" array
+	I int64   // scalar value
+	T int     // dense type id
+	G int     // union tag
+	N int     // array length
+	E []*Tree // record fields / union payload / array init
+}
+
+// Scalar, Record, Union, and Array build wire trees.
+func Scalar(v int64) *Tree { return &Tree{K: "s", I: v} }
+
+func Record(typeID int, elems ...*Tree) *Tree { return &Tree{K: "r", T: typeID, E: elems} }
+
+func Union(typeID, tag int, payload *Tree) *Tree {
+	return &Tree{K: "u", T: typeID, G: tag, E: []*Tree{payload}}
+}
+
+func Array(typeID, n int, init *Tree) *Tree {
+	return &Tree{K: "a", T: typeID, N: n, E: []*Tree{init}}
+}
+
+// Item is one queued external-writer message.
+type Item struct {
+	Case int
+	Val  *Tree
+}
+
+// Request is the parent→child line. Only the channels named in Writers
+// and Readers are bound in the child — binding an external channel
+// changes the machine's poll sequence, so the set must mirror whatever
+// the in-process harness being compared against binds.
+type Request struct {
+	MaxLive    int
+	StepBudget int64
+	MaxCycles  int64
+	Trace      bool
+	Repeat     int
+	Writers    map[string][]Item
+	Readers    map[string]int
+}
+
+type wireFault struct {
+	Kind int
+	Msg  string
+	Proc string
+	PC   int
+	Line int
+	Col  int
+	Off  int
+	File string
+}
+
+type wireSnap struct {
+	S int64
+	O *wireObj
+}
+
+type wireObj struct {
+	Tag int
+	E   []wireSnap
+}
+
+type wireReply struct {
+	Result  int
+	Fault   *wireFault
+	Cycles  int64
+	Stats   vm.Stats
+	Outputs map[string][]wireSnap
+	Trace   string
+	NS      int64
+	Error   string
+}
+
+// Result is one compiled-engine run, reconstructed into vm types. The
+// snapshots carry a nil Type (dense ids are not resolved back); every
+// renderer in the repo formats snapshots from Scalar/Tag/Elems only.
+type Result struct {
+	Result  vm.RunResult
+	Fault   *vm.Fault
+	Cycles  int64
+	Stats   vm.Stats
+	Outputs map[string][]vm.Snapshot
+	Trace   string
+	// NS is the child-measured wall time of the whole repeat loop in
+	// nanoseconds (excludes process startup and program compilation).
+	NS int64
+}
+
+// Runner drives one cached generated binary.
+type Runner struct {
+	Bin    string
+	Dir    string
+	Cached bool // the binary came from the build cache without a rebuild
+}
+
+// Run executes one request against the generated binary.
+func (r *Runner) Run(req *Request) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(r.Bin)
+	cmd.Stdin = bytes.NewReader(append(body, '\n'))
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("gobackend: generated binary failed: %v\nstderr: %s", err, errb.String())
+	}
+	var rep wireReply
+	if err := json.Unmarshal(bytes.TrimSpace(out.Bytes()), &rep); err != nil {
+		return nil, fmt.Errorf("gobackend: bad reply from generated binary: %v\nstdout: %s", err, out.String())
+	}
+	if rep.Error != "" {
+		return nil, fmt.Errorf("gobackend: generated binary reported: %s", rep.Error)
+	}
+	res := &Result{
+		Result:  vm.RunResult(rep.Result),
+		Cycles:  rep.Cycles,
+		Stats:   rep.Stats,
+		Outputs: map[string][]vm.Snapshot{},
+		Trace:   rep.Trace,
+		NS:      rep.NS,
+	}
+	if w := rep.Fault; w != nil {
+		res.Fault = &vm.Fault{
+			Kind: vm.FaultKind(w.Kind),
+			Msg:  w.Msg,
+			Proc: w.Proc,
+			PC:   w.PC,
+			Pos:  token.Pos{Offset: w.Off, Line: w.Line, Column: w.Col},
+			File: w.File,
+		}
+	}
+	for name, ws := range rep.Outputs {
+		snaps := make([]vm.Snapshot, len(ws))
+		for i, w := range ws {
+			snaps[i] = snapFromWire(w)
+		}
+		res.Outputs[name] = snaps
+	}
+	return res, nil
+}
+
+func snapFromWire(w wireSnap) vm.Snapshot {
+	if w.O == nil {
+		return vm.Snapshot{Scalar: w.S}
+	}
+	obj := &vm.SnapObject{Tag: w.O.Tag, Elems: make([]vm.Snapshot, len(w.O.E))}
+	for i, c := range w.O.E {
+		obj.Elems[i] = snapFromWire(c)
+	}
+	return vm.Snapshot{Obj: obj}
+}

@@ -82,15 +82,15 @@ func TestFuseCompareBranchRetargets(t *testing.T) {
 	// while (n < 10) { n = n + 1 } — the loop head fuses to FLCCmpBr and
 	// its (remapped) branch target must land on a fused instruction.
 	code := []Instr{
-		{Op: LoadLocal, A: 0},       // 0: loop head
-		{Op: Const, Val: 10},        // 1
-		{Op: Lt},                    // 2
-		{Op: JumpIfFalse, A: 8},     // 3
-		{Op: LoadLocal, A: 0},       // 4
-		{Op: Const, Val: 1},         // 5
-		{Op: Add},                   // 6
-		{Op: StoreLocal, A: 0},      // 7  (falls through to 8? no: loop back)
-		{Op: Halt},                  // 8
+		{Op: LoadLocal, A: 0},   // 0: loop head
+		{Op: Const, Val: 10},    // 1
+		{Op: Lt},                // 2
+		{Op: JumpIfFalse, A: 8}, // 3
+		{Op: LoadLocal, A: 0},   // 4
+		{Op: Const, Val: 1},     // 5
+		{Op: Add},               // 6
+		{Op: StoreLocal, A: 0},  // 7  (falls through to 8? no: loop back)
+		{Op: Halt},              // 8
 	}
 	// Insert the back jump: body then jump to 0.
 	code = append(code[:8], Instr{Op: Jump, A: 0}, Instr{Op: Halt})
@@ -161,14 +161,14 @@ func TestFuseResumePCAlwaysMapped(t *testing.T) {
 	// processes resume there, so Map must hold a valid fused index even
 	// when the next instruction would otherwise be a group interior.
 	fp := fuse(t, proc([]Instr{
-		{Op: Const, Val: 7},         // 0
-		{Op: Send, A: 0},            // 1
-		{Op: LoadLocal, A: 0},       // 2: resume point
-		{Op: Const, Val: 1},         // 3
-		{Op: Add},                   // 4
-		{Op: StoreLocal, A: 0},      // 5
-		{Op: Recv, A: 0},            // 6
-		{Op: Halt},                  // 7: resume point
+		{Op: Const, Val: 7},    // 0
+		{Op: Send, A: 0},       // 1
+		{Op: LoadLocal, A: 0},  // 2: resume point
+		{Op: Const, Val: 1},    // 3
+		{Op: Add},              // 4
+		{Op: StoreLocal, A: 0}, // 5
+		{Op: Recv, A: 0},       // 6
+		{Op: Halt},             // 7: resume point
 	}))
 	for _, pc := range []int{2, 7} {
 		if fp.Map[pc] < 0 {

@@ -12,6 +12,11 @@ import "fmt"
 // statically-matched channels, narrowed partner scans everywhere else,
 // and heap-object recycling — still observably identical, with one
 // extra diagnostic counter (Stats.DirectXfers) that charges no cycles.
+// The compiled engine executes ahead-of-time generated Go code (see
+// internal/gobackend): one native function per process, installed with
+// Machine.InstallCompiled. A machine configured for EngineCompiled but
+// without installed functions falls back to the baseline loop, so the
+// configuration is always safe to run in-process.
 type Engine uint8
 
 // Engines.
@@ -19,6 +24,7 @@ const (
 	EngineFused Engine = iota
 	EngineBaseline
 	EngineProcFused
+	EngineCompiled
 )
 
 func (e Engine) String() string {
@@ -29,6 +35,8 @@ func (e Engine) String() string {
 		return "baseline"
 	case EngineProcFused:
 		return "procfused"
+	case EngineCompiled:
+		return "compiled"
 	}
 	return "engine?"
 }
@@ -42,6 +50,8 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineBaseline, nil
 	case "procfused":
 		return EngineProcFused, nil
+	case "compiled":
+		return EngineCompiled, nil
 	}
-	return EngineFused, fmt.Errorf("unknown engine %q (want baseline, fused, or procfused)", s)
+	return EngineFused, fmt.Errorf("unknown engine %q (want baseline, fused, procfused, or compiled)", s)
 }

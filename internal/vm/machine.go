@@ -112,6 +112,12 @@ type Machine struct {
 	// baseline engine was selected. It is immutable and shared by clones.
 	fused []*ir.FusedProc
 
+	// compiled holds the generated native step functions of the compiled
+	// engine (one per process, installed by InstallCompiled); nil for
+	// every other engine, in which case an EngineCompiled machine runs
+	// the baseline loop.
+	compiled []CompiledProc
+
 	// sched is the runtime form of the static rendezvous schedule
 	// (process-fused engine, auto + bit-mask mode only; nil otherwise).
 	// Immutable and shared by clones; schedStore is its backing storage
@@ -165,10 +171,10 @@ type Machine struct {
 	recStop  [8]uint64
 	recRend  []uint64
 	recPoll  []uint64
-	prof    *obs.Profiler
-	clock   func() int64
-	curLine int
-	allIdx  []int
+	prof     *obs.Profiler
+	clock    func() int64
+	curLine  int
+	allIdx   []int
 
 	metrics *obs.Metrics
 	mRend   []*obs.Counter
@@ -234,6 +240,17 @@ func New(prog *ir.Program, cfg Config) *Machine {
 			// shells are never reused (they tombstone dangling
 			// references), so this is observable on no program — buggy or
 			// not.
+			m.heap.recycle = true
+		}
+	case EngineCompiled:
+		// The compiled engine mirrors the baseline's rendezvous machinery
+		// exactly (full-table partner scans, no static schedule), so the
+		// generated code's accounting is bit-identical to the oracle by
+		// construction. Element-storage recycling is unobservable (see the
+		// ProcFused case above), so the native code gets it too. Until
+		// InstallCompiled provides the generated step functions, the
+		// machine runs the baseline loop.
+		if !cfg.Manual {
 			m.heap.recycle = true
 		}
 	}

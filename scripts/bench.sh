@@ -1,14 +1,15 @@
 #!/bin/sh
 # Record the PR's headline benchmarks — firmware latency/bandwidth and
-# verifier throughput across the three-tier engine matrix (baseline,
-# fused, process-fused) — into BENCH_PR8.json at the repository root.
-# Commit the file so performance claims travel with the code.
+# verifier throughput across the four-tier engine matrix (baseline,
+# fused, process-fused, AOT-compiled) — into BENCH_PR9.json at the
+# repository root. Commit the file so performance claims travel with
+# the code.
 #
 # Usage:
-#   scripts/bench.sh                 # full three-tier engine matrix
-#   scripts/bench.sh -fuse procfused # one tier only (the fusion axis:
-#                                    # baseline | fused | procfused, or
-#                                    # a comma list)
+#   scripts/bench.sh                 # full four-tier engine matrix
+#   scripts/bench.sh -fuse procfused # one tier only (the engine axis:
+#                                    # baseline | fused | procfused |
+#                                    # compiled, or a comma list)
 #   scripts/bench.sh -seed <gitref>  # also benchmark the pre-PR commit
 #                                    # in a worktree and record the
 #                                    # fused-over-seed and
@@ -49,7 +50,7 @@ fi
 if [ -n "$seed_file" ]; then
     set -- -seed-bench "$seed_file" "$@"
 fi
-go run ./cmd/benchrec -out BENCH_PR8.json "$@"
+go run ./cmd/benchrec -out BENCH_PR9.json "$@"
 
 if [ -n "$wt" ]; then
     git worktree remove --force "$wt"
