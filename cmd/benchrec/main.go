@@ -15,7 +15,11 @@
 // code's steady state. It needs a host Go toolchain and is skipped with
 // a note when none is on PATH.
 //
-//	go run ./cmd/benchrec -out BENCH_PR9.json
+// The verification workloads also run under ample-set partial-order
+// reduction ("<workload>/por"); the "<workload>/por_state_reduction"
+// speedup entry records the full-search/reduced-search state ratio.
+//
+//	go run ./cmd/benchrec -out BENCH_PR10.json
 package main
 
 import (
@@ -46,7 +50,7 @@ type Bench struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR9.json. The speedup maps compare
+// Report is the file layout of BENCH_PR10.json. The speedup maps compare
 // the engines inside this build (fused over baseline, and process-fused
 // over fused — the PR6 headline); SeedBenches and the vs-seed maps
 // (present when scripts/bench.sh was given a -seed ref) compare this
@@ -279,6 +283,42 @@ var workloads = []workload{
 		}
 		b.ReportMetric(float64(states), "states")
 	}},
+	{"VerifyMemSafety/por", func(b *testing.B, _ esplang.Engine, vo esplang.VerifyOptions) {
+		vo.Reduction = esplang.AmpleSets
+		var states int
+		for i := 0; i < b.N; i++ {
+			res, err := vmmc.VerifyMemSafety(vmmc.BugNone, vo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation != nil {
+				b.Fatalf("violation: %v", res.Violation)
+			}
+			states = res.States
+		}
+		b.ReportMetric(float64(states), "states")
+	}},
+	{"VerifyFirmwareModel/por", func(b *testing.B, _ esplang.Engine, vo esplang.VerifyOptions) {
+		// The PR10 headline: the same firmware verification under
+		// ample-set partial-order reduction. The states metric is the one
+		// that matters — the "/por_state_reduction" speedup entry records
+		// how many fewer states the reduced search visits for the same
+		// verdict.
+		vo.Reduction = esplang.AmpleSets
+		cfg := nic.DefaultConfig()
+		var states int
+		for i := 0; i < b.N; i++ {
+			res, err := vmmc.VerifyFirmware(cfg, 2, vo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation != nil {
+				b.Fatalf("violation: %v", res.Violation)
+			}
+			states = res.States
+		}
+		b.ReportMetric(float64(states), "states")
+	}},
 }
 
 func findWorkload(name string) workload {
@@ -426,7 +466,7 @@ func toBench(name string, engine esplang.Engine, r testing.BenchmarkResult) Benc
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	repeat := flag.Int("repeat", 5, "runs per benchmark; the fastest is recorded")
 	seedBench := flag.String("seed-bench", "", "optional `go test -bench` output from the pre-PR commit to compare against")
 	engineList := flag.String("engines", "baseline,fused,procfused,compiled",
@@ -545,6 +585,24 @@ func main() {
 			}
 			if pfused.NsPerOp > 0 {
 				rep.SpeedupsOver[wl.name+"/compiled_over_procfused"] = pfused.NsPerOp / compiled.NsPerOp
+			}
+		}
+	}
+	// POR state reduction: full-search states over ample-set states for
+	// each verification workload. The state counts are engine-independent
+	// (the reduction is a property of the search, not the execution
+	// tier), so the first tier with both runs recorded is reported.
+	for _, wl := range workloads {
+		porName := wl.name + "/por"
+		if findWorkload(porName).run == nil {
+			continue
+		}
+		for _, engine := range engines {
+			e := engine.String()
+			full, por := byKey[wl.name+"/"+e], byKey[porName+"/"+e]
+			if fs, ps := full.Metrics["states"], por.Metrics["states"]; fs > 0 && ps > 0 {
+				rep.SpeedupsOver[wl.name+"/por_state_reduction"] = fs / ps
+				break
 			}
 		}
 	}

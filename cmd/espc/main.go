@@ -39,6 +39,7 @@ func main() {
 		dumpIR    = flag.Bool("dump-ir", false, "print the compiled IR to stdout (alias of -S)")
 		dumpFused = flag.Bool("dump-fused", false, "print the fused-engine superinstruction translation to stdout")
 		dumpSched = flag.Bool("dump-schedule", false, "print the static rendezvous schedule (fused channels, dynamic fallbacks, interleave order) to stdout")
+		dumpIndep = flag.Bool("dump-indep", false, "print the transition-independence table (channel touch sets, heap cleanliness, ref-flow regions, independent pairs) to stdout")
 		vet       = flag.Bool("vet", false, "print espvet static-analysis findings to stderr")
 		vetErr    = flag.Bool("vet-err", false, "like -vet, but findings fail the build (exit 1)")
 		vetOff    = flag.String("vet-disable", "", "comma-separated espvet check IDs or names to suppress")
@@ -52,6 +53,7 @@ func main() {
 		mcRun     = flag.Bool("mc", false, "model-check the program with the bundled checker (the program must be closed); a violation exits nonzero")
 		mcWorkers = flag.Int("mc-workers", 0, "model checker: parallel search workers (0 = all cores; 1 = deterministic)")
 		mcProg    = flag.Bool("mc-progress", false, "model checker: print periodic search progress to stderr")
+		mcPOR     = flag.Bool("mc-por", false, "model checker: ample-set partial-order reduction (verdict-preserving)")
 		engineN   = flag.String("engine", "fused", "model checker: VM engine driving the search, fused, procfused, or baseline")
 		fuse      = flag.Bool("fuse", false, "model checker: drive the search with the process-fused engine (shorthand for -engine procfused)")
 		noFuse    = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
@@ -107,6 +109,9 @@ func main() {
 	}
 	if *dumpSched {
 		fmt.Print(prog.DumpSchedule())
+	}
+	if *dumpIndep {
+		fmt.Print(prog.DumpIndependence())
 	}
 	if *stats {
 		s := prog.Stats()
@@ -174,6 +179,9 @@ func main() {
 			engine = esplang.EngineProcFused
 		}
 		vo := esplang.VerifyOptions{Workers: *mcWorkers, EndRecvOK: true, Engine: engine}
+		if *mcPOR {
+			vo.Reduction = esplang.AmpleSets
+		}
 		if *mcProg {
 			vo.Progress = func(info esplang.ProgressInfo) { fmt.Fprintln(os.Stderr, info) }
 		}

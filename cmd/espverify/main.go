@@ -40,6 +40,8 @@ func main() {
 		engineN   = flag.String("engine", "fused", "VM engine driving the search: fused, procfused, or baseline (verdicts and state counts are identical)")
 		fuse      = flag.Bool("fuse", false, "drive the search with the process-fused engine (shorthand for -engine procfused)")
 		noFuse    = flag.Bool("no-fuse", false, "disable static process fusion in the optimizer; every rendezvous stays dynamic")
+		por       = flag.Bool("por", false, "partial-order reduction: explore one ample subset of independent transitions per state (verdict-preserving)")
+		porStats  = flag.Bool("por-stats", false, "with -por (implied): print ample-set hit rate, proviso fallbacks, and deferred-transition counts after the search")
 		noVet     = flag.Bool("no-vet", false, "do not print espvet static-analysis findings before checking")
 		postmort  = flag.Bool("postmortem", false, "print the counterexample's flight-recorder postmortem (last events leading into the violation)")
 		telemetry = flag.String("telemetry", "", "serve live telemetry on this address (e.g. 127.0.0.1:9464): /metrics, /statusz, /progress")
@@ -87,6 +89,9 @@ func main() {
 		EndRecvOK:       *endRecv,
 		NoDeadlockCheck: *noDead,
 		Engine:          engine,
+	}
+	if *por || *porStats {
+		opts.Reduction = esplang.AmpleSets
 	}
 	var reg *obs.Metrics
 	if *metricsF != "" || *telemetry != "" {
@@ -167,6 +172,12 @@ func main() {
 		}
 	}
 	fmt.Println(res)
+	if *porStats && res.POR != nil {
+		p := res.POR
+		fmt.Printf("por: ample at %d/%d states (%.1f%% hit rate), %d proviso fallbacks, %d transitions deferred (lower bound on successors avoided)\n",
+			p.AmpleStates, p.AmpleStates+p.FullStates, 100*p.HitRate(),
+			p.ProvisoFallbacks, p.DeferredTransitions)
+	}
 	if res.Violation != nil {
 		fmt.Println("counterexample:")
 		for i, step := range res.Violation.Trace {

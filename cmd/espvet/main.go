@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -79,12 +80,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "espvet: %v\n", err)
 		os.Exit(2)
 	}
+	os.Exit(sweep(files, vetDisable, *quiet, os.Stdout, os.Stderr))
+}
 
+// sweepFinding pins one finding to the program (and path) it came from,
+// so findings from a multi-file sweep can be ordered globally.
+type sweepFinding struct {
+	path string
+	prog *esplang.Program
+	f    *esplang.Finding
+}
+
+// sweep vets every file and reports the findings of the whole sweep in
+// one global (file, span, check ID) order, so multi-file runs are
+// byte-stable regardless of compilation order. Returns the exit status:
+// 0 clean, 1 findings, 2 compile/read errors.
+func sweep(files []string, vetDisable map[string]bool, quiet bool, out, errw io.Writer) int {
 	exit := 0
+	var all []sweepFinding
 	for _, path := range files {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espvet: %v\n", err)
+			fmt.Fprintf(errw, "espvet: %v\n", err)
 			exit = 2
 			continue
 		}
@@ -94,25 +111,45 @@ func main() {
 			VetDisable: vetDisable,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, diag.RenderError(err, path, string(src)))
+			fmt.Fprintln(errw, diag.RenderError(err, path, string(src)))
 			exit = 2
 			continue
 		}
-		if len(prog.Findings) == 0 {
-			continue
-		}
-		if exit == 0 {
-			exit = 1
-		}
-		if *quiet {
-			for _, f := range prog.Findings {
-				fmt.Printf("%s:%s\n", path, f)
-			}
-		} else {
-			fmt.Print(prog.RenderFindings())
+		for _, f := range prog.Findings {
+			all = append(all, sweepFinding{path: path, prog: prog, f: f})
 		}
 	}
-	os.Exit(exit)
+	if len(all) == 0 {
+		return exit
+	}
+	if exit == 0 {
+		exit = 1
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.path != b.path {
+			return a.path < b.path
+		}
+		if a.f.Pos.Line != b.f.Pos.Line {
+			return a.f.Pos.Line < b.f.Pos.Line
+		}
+		if a.f.Pos.Column != b.f.Pos.Column {
+			return a.f.Pos.Column < b.f.Pos.Column
+		}
+		return a.f.Check.ID < b.f.Check.ID
+	})
+	if quiet {
+		for _, sf := range all {
+			fmt.Fprintf(out, "%s:%s\n", sf.path, sf.f)
+		}
+		return exit
+	}
+	for _, sf := range all {
+		fmt.Fprint(out, sf.prog.RenderFinding(sf.f))
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "%d finding(s)\n", len(all))
+	return exit
 }
 
 // expandArgs resolves the file/directory arguments to a sorted,

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestSweepDeterministic locks the multi-file sweep output: two sweeps
+// over the whole vet corpus must be byte-identical, and the quiet-mode
+// transcript must match the golden (findings globally ordered by file,
+// span, check ID).
+func TestSweepDeterministic(t *testing.T) {
+	files, err := expandArgs([]string{"../../testdata/vet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() (string, int) {
+		var out, errw bytes.Buffer
+		exit := sweep(files, nil, true, &out, &errw)
+		if errw.Len() != 0 {
+			t.Fatalf("sweep errors:\n%s", errw.String())
+		}
+		return out.String(), exit
+	}
+
+	got, exit := run()
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1 (corpus has findings)", exit)
+	}
+	again, _ := run()
+	if got != again {
+		t.Fatalf("sweep output not byte-stable:\n--- first ---\n%s--- second ---\n%s", got, again)
+	}
+
+	const golden = "testdata/sweep.golden"
+	if os.Getenv("ESP_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with ESP_UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("sweep output differs from %s (run with ESP_UPDATE_GOLDEN=1 to update)\ngot:\n%s", golden, got)
+	}
+}

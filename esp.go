@@ -88,6 +88,9 @@ type (
 	VerifyOptions = mc.Options
 	// VerifyResult reports a model-checking run.
 	VerifyResult = mc.Result
+	// PORStats reports partial-order-reduction counters
+	// (VerifyResult.POR, non-nil when Reduction is AmpleSets).
+	PORStats = mc.PORStats
 	// Violation is a property failure with its counterexample trace.
 	Violation = mc.Violation
 	// ProgressInfo is one periodic model-checking progress sample
@@ -114,6 +117,12 @@ const (
 	Exhaustive = mc.Exhaustive
 	BitState   = mc.BitState
 	Simulation = mc.Simulation
+)
+
+// State-space reductions (re-exported; VerifyOptions.Reduction).
+const (
+	NoReduction = mc.NoReduction
+	AmpleSets   = mc.AmpleSets
 )
 
 // Execution engines (re-exported).
@@ -340,6 +349,20 @@ func (p *Program) DumpSchedule() string {
 		sched = analysis.ComputeSchedule(p.IR)
 	}
 	return ir.FormatSchedule(p.IR, sched)
+}
+
+// DumpIndependence renders the transition-independence table the
+// partial-order reduction and the ESPV013/ESPV014 checks consume: which
+// processes touch each channel, per-process heap-cleanliness verdicts,
+// ref-flow regions, and the resulting independent process pairs. When
+// the optimizer has not cached the table (e.g. -O0), it is computed on
+// the fly, exactly as the optimizer's final pass would.
+func (p *Program) DumpIndependence() string {
+	ind := p.IR.Indep
+	if ind == nil {
+		ind = analysis.ComputeIndependence(p.IR)
+	}
+	return ir.FormatIndependence(p.IR, ind)
 }
 
 // Stats summarizes the program.

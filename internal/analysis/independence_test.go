@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"esplang/internal/ir"
+)
+
+// indep computes the independence table for a source program.
+func indep(t *testing.T, src string) (*ir.Program, *ir.Independence) {
+	t.Helper()
+	prog := compileSrc(t, src)
+	return prog, ComputeIndependence(prog)
+}
+
+func procIdx(t *testing.T, prog *ir.Program, name string) int {
+	t.Helper()
+	for i, p := range prog.Procs {
+		if p.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("no process %q", name)
+	return -1
+}
+
+// TestIndependenceDisjointPipelines: two pipelines with no shared
+// channel and no references are independent across, dependent within.
+func TestIndependenceDisjointPipelines(t *testing.T) {
+	prog, ind := indep(t, `
+channel a: int
+channel b: int
+process pa { out( a, 1); }
+process ca { in( a, $x); }
+process pb { out( b, 2); }
+process cb { in( b, $y); }
+`)
+	pa, ca := procIdx(t, prog, "pa"), procIdx(t, prog, "ca")
+	pb, cb := procIdx(t, prog, "pb"), procIdx(t, prog, "cb")
+
+	if ind.Independent(pa, ca) {
+		t.Error("pa/ca share channel a but are marked independent")
+	}
+	if ind.Independent(pb, cb) {
+		t.Error("pb/cb share channel b but are marked independent")
+	}
+	for _, pair := range [][2]int{{pa, pb}, {pa, cb}, {ca, pb}, {ca, cb}} {
+		if !ind.Independent(pair[0], pair[1]) {
+			t.Errorf("%s/%s share nothing but are marked dependent",
+				prog.Procs[pair[0]].Name, prog.Procs[pair[1]].Name)
+		}
+	}
+	if ind.Independent(pa, pa) {
+		t.Error("a process must never be independent of itself")
+	}
+}
+
+// TestIndependenceSharedChannelCounterexample pins the commutation
+// counterexample the Touch sets guard against: two senders racing for
+// one receiver on the same channel do not commute (only one send fires
+// per message), so every pair touching the channel is dependent.
+func TestIndependenceSharedChannel(t *testing.T) {
+	prog, ind := indep(t, `
+channel c: int
+process s1 { out( c, 1); }
+process s2 { out( c, 2); }
+process r { in( c, $x); in( c, $y); }
+`)
+	s1, s2, r := procIdx(t, prog, "s1"), procIdx(t, prog, "s2"), procIdx(t, prog, "r")
+	for _, pair := range [][2]int{{s1, s2}, {s1, r}, {s2, r}} {
+		if ind.Independent(pair[0], pair[1]) {
+			t.Errorf("%s/%s both touch channel c but are marked independent",
+				prog.Procs[pair[0]].Name, prog.Procs[pair[1]].Name)
+		}
+	}
+}
+
+// TestIndependenceAltEnabling: an alt does not make its process
+// independent of counterparties on any arm's channel — firing one arm
+// disables the others, the enabledness-interference counterexample.
+func TestIndependenceAltEnabling(t *testing.T) {
+	prog, ind := indep(t, `
+channel a: int
+channel b: int
+process pa { out( a, 1); }
+process pb { out( b, 2); }
+process hub {
+    alt {
+        case( in( a, $x)) { }
+        case( in( b, $y)) { }
+    }
+}
+`)
+	pa, pb, hub := procIdx(t, prog, "pa"), procIdx(t, prog, "pb"), procIdx(t, prog, "hub")
+	if ind.Independent(pa, hub) || ind.Independent(pb, hub) {
+		t.Error("alt counterparties marked independent of the alt process")
+	}
+	if !ind.Independent(pa, pb) {
+		t.Error("the two senders share nothing and must stay independent")
+	}
+}
+
+// TestIndependenceOwnershipTransfer: the clean idiom — send then unlink
+// — keeps both ends of a ref-carrying pipeline heap-clean, so the pair
+// is still independent of an unrelated scalar pair.
+func TestIndependenceOwnershipTransfer(t *testing.T) {
+	prog, ind := indep(t, dataDecl+`
+channel c: dataT
+channel z: int
+process p {
+    $d: dataT = { 2 -> 7};
+    out( c, d);
+    unlink( d);
+}
+process q { in( c, $v); unlink( v); }
+process x { out( z, 1); }
+process y { in( z, $k); }
+`)
+	p, q := procIdx(t, prog, "p"), procIdx(t, prog, "q")
+	x, y := procIdx(t, prog, "x"), procIdx(t, prog, "y")
+	if !ind.Clean[p] || !ind.Clean[q] {
+		t.Errorf("send+unlink pipeline not clean: p=%v (%s) q=%v (%s)",
+			ind.Clean[p], ind.CleanReason[p], ind.Clean[q], ind.CleanReason[q])
+	}
+	for _, pair := range [][2]int{{p, x}, {p, y}, {q, x}, {q, y}} {
+		if !ind.Independent(pair[0], pair[1]) {
+			t.Errorf("%s/%s marked dependent despite disjoint channels and clean heaps",
+				prog.Procs[pair[0]].Name, prog.Procs[pair[1]].Name)
+		}
+	}
+}
+
+// TestIndependenceUseAfterSend: holding a reference across the send
+// (no unlink before the next blocking point) leaves the sender unclean;
+// its dirty ref-flow region must suppress independence with the region
+// peer even though the scalar pair shares no channel with it.
+func TestIndependenceUseAfterSend(t *testing.T) {
+	prog, ind := indep(t, dataDecl+`
+channel c: dataT
+process p {
+    $d: dataT = { 2 -> 7};
+    out( c, d);
+    out( c, d);
+    unlink( d);
+}
+process q { in( c, $v); unlink( v); in( c, $w); unlink( w); }
+process x { $n = 0; n = n + 1; }
+`)
+	p, q := procIdx(t, prog, "p"), procIdx(t, prog, "q")
+	if ind.Clean[p] {
+		t.Error("sender keeps a live reference across a blocking point but is marked clean")
+	}
+	r := ind.Region[p]
+	if r < 0 || !ind.DirtyRegion[r] {
+		t.Errorf("unclean member did not dirty its ref-flow region (region=%d)", r)
+	}
+	if ind.Region[q] != r {
+		t.Error("both ends of a ref channel must share a region")
+	}
+	if ind.Independent(p, q) {
+		t.Error("processes sharing a channel marked independent")
+	}
+}
+
+// TestIndependenceManualLink: link() escapes the one-obligation
+// ownership model, so the process goes unclean and its whole region is
+// conservatively kept dependent.
+func TestIndependenceManualLink(t *testing.T) {
+	prog, ind := indep(t, dataDecl+`
+channel c: dataT
+process p {
+    $d: dataT = { 2 -> 7};
+    link( d);
+    out( c, d);
+    unlink( d);
+    unlink( d);
+}
+process q { in( c, $v); unlink( v); }
+`)
+	p, q := procIdx(t, prog, "p"), procIdx(t, prog, "q")
+	if ind.Clean[p] {
+		t.Errorf("link() user marked clean (%s)", ind.CleanReason[p])
+	}
+	r := ind.Region[p]
+	if r < 0 || !ind.DirtyRegion[r] || ind.Region[q] != r {
+		t.Errorf("link() did not dirty the shared region: Region[p]=%d Region[q]=%d",
+			ind.Region[p], ind.Region[q])
+	}
+}
+
+// TestIndependenceExternalChannel: an externally bound channel has the
+// environment as an unenumerable counterparty; it must be flagged so
+// the reduction never builds an ample set around environment input.
+func TestIndependenceExternalChannel(t *testing.T) {
+	prog, ind := indep(t, `
+channel env: int external writer
+channel c: int
+process p { in( env, $x); out( c, x); }
+process q { in( c, $y); }
+`)
+	envIdx := -1
+	for i, ch := range prog.Channels {
+		if ch.Name == "env" {
+			envIdx = i
+		}
+	}
+	if envIdx < 0 {
+		t.Fatal("channel env not found")
+	}
+	if !ind.ChanExt[envIdx] {
+		t.Error("channel with no internal sender not marked external")
+	}
+	_ = procIdx(t, prog, "p")
+}
+
+// TestFormatIndependence smoke-tests the renderer used by
+// espc -dump-indep.
+func TestFormatIndependence(t *testing.T) {
+	prog, ind := indep(t, `
+channel a: int
+process pa { out( a, 1); }
+process ca { in( a, $x); }
+`)
+	out := ir.FormatIndependence(prog, ind)
+	for _, want := range []string{"channels", "processes", "independent pairs", "pa", "ca"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatIndependence output missing %q:\n%s", want, out)
+		}
+	}
+}

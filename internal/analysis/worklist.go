@@ -143,8 +143,18 @@ func (b bitset) clone() bitset {
 }
 
 func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
-func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
-func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+
+// empty reports whether no bit is set (true for a nil bitset).
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
 
 // intersectInto ands o into b, reporting whether b changed.
 func (b bitset) intersectInto(o bitset) bool {

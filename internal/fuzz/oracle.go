@@ -425,6 +425,47 @@ func RunDifferential(name, src string, opts Options) *Report {
 						fmt.Sprintf("workers=1 states=%d\nworkers=4 states=%d", seq.States, par.States))
 				}
 			}
+			// Ample-set reduction prunes the successor sets but must keep
+			// the verdict: same class and, for faults, the same kind at
+			// the same source line. State counts legitimately shrink, and
+			// out-of-objects verdicts are exempt — the global live-object
+			// peak depends on which interleaving the search walks.
+			var pres *esplang.VerifyResult
+			if rep.guard("mc/por", func() {
+				o := mcOpts(esplang.EngineFused, 1)
+				o.Reduction = esplang.AmpleSets
+				pres = full.Verify(o)
+			}) {
+				a, b := verdictPlace(mcs[0].res), verdictPlace(pres)
+				if a != b {
+					switch {
+					case strings.Contains(a+b, vm.FaultOutOfObjects.String()):
+						rep.Notes = append(rep.Notes, "mc por-vs-full differ only around an out-of-objects verdict (interleaving-dependent peak)")
+					case a == "none(partial)" || b == "none(partial)":
+						rep.Notes = append(rep.Notes, "mc por-vs-full differ under state-bound truncation")
+					default:
+						rep.addBug("mc-por-divergence", "mc/por",
+							fmt.Sprintf("full verdict: %s\nreduced verdict: %s", a, b))
+					}
+				}
+				if !mcs[0].res.Truncated && !pres.Truncated && pres.States > mcs[0].res.States {
+					rep.addBug("mc-por-divergence", "mc/por",
+						fmt.Sprintf("reduction grew the state space: full states=%d reduced states=%d",
+							mcs[0].res.States, pres.States))
+				}
+				// A sequential reduced search is a pure function of the
+				// program: repeating it must reproduce every counter.
+				var pres2 *esplang.VerifyResult
+				if rep.guard("mc/por-repeat", func() {
+					o := mcOpts(esplang.EngineFused, 1)
+					o.Reduction = esplang.AmpleSets
+					pres2 = full.Verify(o)
+				}) {
+					if a, b := renderMC(pres), renderMC(pres2); a != b {
+						rep.addBug("mc-por-nondet", "mc/por-repeat", diffDetail(a, b))
+					}
+				}
+			}
 			// Unoptimized code must model-check to the same verdict class
 			// (state counts differ; allocation elision exempted again).
 			if noopt != nil && nooptErr == nil {
@@ -797,6 +838,26 @@ func verdictClass(res *esplang.VerifyResult) string {
 	default:
 		f := res.Violation.Fault
 		return fmt.Sprintf("fault:%v:%s", f.Kind, f.Msg)
+	}
+}
+
+// verdictPlace reduces a model-checking result to what a state-space
+// reduction must preserve: no violation, deadlock, or a fault kind at
+// its source location. Unlike verdictClass it pins the file:line (a
+// reduced search must fault at the same site) but drops the message,
+// whose counters can reflect the walked interleaving.
+func verdictPlace(res *esplang.VerifyResult) string {
+	switch {
+	case res.Violation == nil:
+		if res.Truncated {
+			return "none(partial)"
+		}
+		return "none"
+	case res.Violation.Deadlock:
+		return "deadlock"
+	default:
+		f := res.Violation.Fault
+		return fmt.Sprintf("fault:%v:%s", f.Kind, f.Location())
 	}
 }
 

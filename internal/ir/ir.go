@@ -277,6 +277,11 @@ type Program struct {
 	// EngineProcFused machines execute it; it is always paired with
 	// Schedule.
 	FusedSched []*FusedProc
+	// Indep is the whole-program transition-independence table (see
+	// independence.go); nil when the program has not been optimized. The
+	// model checker recomputes it on demand when partial-order reduction
+	// is requested on an unoptimized program.
+	Indep *Independence
 }
 
 // ChannelByName returns the named channel or nil.

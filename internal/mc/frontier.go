@@ -36,7 +36,19 @@ import (
 // bit-for-bit reproducible. Any worker count visits the same state set
 // and reports the same States count (the visited set's TryAdd admits each
 // state exactly once); only which of several violations is reported first
-// can vary.
+// can vary. The one exception is Options.Reduction with Workers > 1: the
+// cycle-proviso decision reads the racy visited set, so the reduced
+// search's state count can vary slightly between runs (always a superset
+// of the sequential reduced search — verdicts are unaffected).
+//
+// With Options.Reduction: AmpleSets each node additionally carries the
+// length of its ample prefix (see por.go); expansion fires only that
+// prefix unless every ample successor is already closed (its expansion
+// has started), in which case the cycle proviso expands the remainder
+// too. A not-yet-closed successor is a sound deferral witness: it is
+// expanded strictly later, so following witnesses visits distinct states
+// in increasing expansion order and must end at a state that either
+// fires the deferred transitions or expands in full.
 
 // pathNode is one link of a counterexample parent chain: the
 // communication that produced a state, plus the chain that produced its
@@ -73,6 +85,12 @@ type node struct {
 	comms []vm.CommChoice
 	path  *pathNode
 	depth int
+	// ample is the length of the ample prefix of comms (== len(comms)
+	// when the state is expanded in full; see por.go).
+	ample int
+	// key is the state's visited-set key, kept only under reduction so
+	// expansion can mark the state closed for the cycle proviso.
+	key string
 }
 
 // frontier is the shared work queue: a FIFO of unexpanded nodes plus an
@@ -170,6 +188,11 @@ type search struct {
 	// instead of the SavedState hot path.
 	oracle bool
 
+	// reduce enables the ample-set partial-order reduction; ind is the
+	// static independence table it selects ample sets from.
+	reduce bool
+	ind    *ir.Independence
+
 	// snapPool recycles SavedStates of fully expanded nodes: in steady
 	// state a new frontier entry reuses the arenas of a retired one, so
 	// state discovery stops allocating.
@@ -180,6 +203,12 @@ type search struct {
 	maxDepth    atomic.Int64
 	truncated   atomic.Bool
 	stop        atomic.Bool
+
+	// Reduction counters (see PORStats).
+	porAmple    atomic.Int64
+	porFull     atomic.Int64
+	porFallback atomic.Int64
+	porDeferred atomic.Int64
 
 	vioMu sync.Mutex
 	vio   *foundViolation
@@ -203,7 +232,8 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 		res.Violation = &Violation{Fault: f, Postmortem: pm}
 		return
 	}
-	visited.TryAdd(m0.EncodeState())
+	key0 := m0.EncodeState()
+	visited.TryAdd(key0)
 	res.States = 1
 	res.MemBytes = visited.MemBytes()
 
@@ -219,10 +249,18 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 		oracle: opts.Engine == vm.EngineBaseline}
 	s.front.cond.L = &s.front.mu
 	s.states.Store(1)
+	if opts.Reduction == AmpleSets {
+		s.reduce = true
+		s.ind = independence(prog)
+	}
+	ample0 := s.ampleOrder(m0, comms0)
+	if !s.reduce {
+		key0 = "" // only the proviso reads node keys; don't retain them
+	}
 	if s.oracle {
-		s.front.push(&node{m: m0, comms: comms0})
+		s.front.push(&node{m: m0, comms: comms0, ample: ample0, key: key0})
 	} else {
-		s.front.push(&node{snap: m0.Save(nil), comms: comms0})
+		s.front.push(&node{snap: m0.Save(nil), comms: comms0, ample: ample0, key: key0})
 	}
 
 	var wg sync.WaitGroup
@@ -253,6 +291,14 @@ func searchFrontier(prog *ir.Program, opts Options, res *Result) {
 	res.MaxDepth = int(s.maxDepth.Load())
 	res.Truncated = s.truncated.Load()
 	res.MemBytes = visited.MemBytes()
+	if s.reduce {
+		res.POR = &PORStats{
+			AmpleStates:         s.porAmple.Load(),
+			FullStates:          s.porFull.Load(),
+			ProvisoFallbacks:    s.porFallback.Load(),
+			DeferredTransitions: s.porDeferred.Load(),
+		}
+	}
 	if s.vio != nil {
 		choices := append(s.vio.parent.choices(), s.vio.last)
 		trace, pm := replayTrace(prog, opts, choices)
@@ -278,6 +324,7 @@ func (s *search) progressLoop(start time.Time, done chan struct{}) {
 	defer ticker.Stop()
 
 	var gStates, gTrans, gFront, gMem, gRate *obs.Gauge
+	var gPorAmple, gPorFull, gPorFallback, gPorDeferred *obs.Gauge
 	var hFront *obs.Histogram
 	if reg := s.opts.Metrics; reg != nil {
 		gStates = reg.Gauge("mc_states")
@@ -286,6 +333,12 @@ func (s *search) progressLoop(start time.Time, done chan struct{}) {
 		gMem = reg.Gauge("mc_mem_bytes")
 		gRate = reg.Gauge("mc_states_per_sec")
 		hFront = reg.Histogram("mc_frontier_depth")
+		if s.reduce {
+			gPorAmple = reg.Gauge("mc_por_ample_states")
+			gPorFull = reg.Gauge("mc_por_full_states")
+			gPorFallback = reg.Gauge("mc_por_proviso_fallbacks")
+			gPorDeferred = reg.Gauge("mc_por_deferred_transitions")
+		}
 	}
 
 	prevStates := s.states.Load()
@@ -314,6 +367,12 @@ func (s *search) progressLoop(start time.Time, done chan struct{}) {
 			gMem.Set(info.MemBytes)
 			gRate.Set(int64(info.StatesPerSec))
 			hFront.Observe(int64(info.Frontier))
+			if s.reduce {
+				gPorAmple.Set(s.porAmple.Load())
+				gPorFull.Set(s.porFull.Load())
+				gPorFallback.Set(s.porFallback.Load())
+				gPorDeferred.Set(s.porDeferred.Load())
+			}
 		}
 		if s.opts.Progress != nil {
 			s.opts.Progress(info)
@@ -360,7 +419,18 @@ func (s *search) worker() {
 // SavedState hot path existed. It must stay behaviorally identical to
 // expand — the differential tests compare the two.
 func (s *search) expandClone(n *node) {
-	for _, c := range n.comms {
+	limit, witness := s.noteAmple(n)
+	for i, c := range n.comms {
+		if i == limit {
+			if witness > 0 {
+				s.porDeferred.Add(int64(len(n.comms) - limit))
+				break
+			}
+			// Cycle proviso: every ample successor was already closed
+			// (expanded or expanding); expand the deferred remainder too
+			// so no transition is ignored forever around a cycle.
+			s.porFallback.Add(1)
+		}
 		if s.stop.Load() {
 			return
 		}
@@ -373,9 +443,14 @@ func (s *search) expandClone(n *node) {
 			s.violate(n.path, c, f, false)
 			return
 		}
-		if !s.visited.TryAdd(m2.EncodeState()) {
+		key := m2.EncodeState()
+		if !s.visited.TryAdd(key) {
+			if s.reduce && i < limit && !s.visited.Closed(key) {
+				witness++
+			}
 			continue
 		}
+		witness++
 		if got := s.states.Add(1); got > int64(s.opts.MaxStates) {
 			s.states.Add(-1)
 			s.truncated.Store(true)
@@ -397,20 +472,58 @@ func (s *search) expandClone(n *node) {
 			s.truncated.Store(true)
 			continue
 		}
-		s.front.push(&node{
+		n2 := &node{
 			m:     m2,
 			comms: comms,
 			path:  &pathNode{choice: c, parent: n.path},
 			depth: d,
-		})
+			ample: s.ampleOrder(m2, comms),
+		}
+		if s.reduce {
+			n2.key = key
+		}
+		s.front.push(n2)
 	}
 	n.m = nil // the expanded machine is no longer needed
+}
+
+// noteAmple starts a node's expansion under reduction: it normalizes the
+// ample prefix, counts it toward the reduction statistics, and marks the
+// state closed — from here on it can no longer serve as another ample
+// set's deferral witness (see the cycle proviso in expand). The second
+// result seeds the expansion's witness counter. A prefix covering every
+// communication means the state is expanded in full.
+func (s *search) noteAmple(n *node) (limit, witness int) {
+	limit = n.ample
+	if limit <= 0 || limit > len(n.comms) {
+		limit = len(n.comms)
+	}
+	if s.reduce {
+		s.visited.MarkClosed(n.key)
+		if limit < len(n.comms) {
+			s.porAmple.Add(1)
+		} else {
+			s.porFull.Add(1)
+		}
+	}
+	return limit, 0
 }
 
 // expand fires every enabled communication of n on the worker's machine,
 // recording newly discovered states and enqueueing them for expansion.
 func (s *search) expand(m *vm.Machine, n *node) {
-	for _, c := range n.comms {
+	limit, witness := s.noteAmple(n)
+	for i, c := range n.comms {
+		if i == limit {
+			if witness > 0 {
+				s.porDeferred.Add(int64(len(n.comms) - limit))
+				break
+			}
+			// Cycle proviso: every ample successor was already closed
+			// (expanded or expanding); expand the deferred remainder too
+			// so no transition is ignored forever around a cycle.
+			s.porFallback.Add(1)
+		}
 		if s.stop.Load() {
 			return
 		}
@@ -426,9 +539,14 @@ func (s *search) expand(m *vm.Machine, n *node) {
 			s.violate(n.path, c, f, false)
 			return
 		}
-		if !s.visited.TryAdd(m.EncodeState()) {
+		key := m.EncodeState()
+		if !s.visited.TryAdd(key) {
+			if s.reduce && i < limit && !s.visited.Closed(key) {
+				witness++
+			}
 			continue
 		}
+		witness++
 		// Reserve a slot under the state bound before counting the state;
 		// the instant the bound is reached the whole search shuts down —
 		// it does not keep firing transitions into states it will never
@@ -456,12 +574,17 @@ func (s *search) expand(m *vm.Machine, n *node) {
 		}
 		// Only admitted states pay for a snapshot (TryAdd ran first).
 		snap, _ := s.snapPool.Get().(*vm.SavedState)
-		s.front.push(&node{
+		n2 := &node{
 			snap:  m.Save(snap),
 			comms: comms,
 			path:  &pathNode{choice: c, parent: n.path},
 			depth: d,
-		})
+			ample: s.ampleOrder(m, comms),
+		}
+		if s.reduce {
+			n2.key = key
+		}
+		s.front.push(n2)
 	}
 	// Every communication was fired from n.snap; recycle its arenas. (The
 	// early returns above skip this — a shutting-down search doesn't need

@@ -56,6 +56,61 @@ func (m Mode) String() string {
 	return "?"
 }
 
+// Reduction selects the partial-order reduction applied during
+// Exhaustive and BitState searches.
+type Reduction int
+
+// Reduction modes.
+const (
+	// NoReduction explores every enabled transition of every state.
+	NoReduction Reduction = iota
+	// AmpleSets expands, at each state, a provably sufficient subset of
+	// the enabled communications (an ample set) computed from the static
+	// independence table (ir.Independence): a closed group of processes
+	// whose transitions commute with everything outside the group, with
+	// the standard cycle-proviso fallback to full expansion when an ample
+	// step discovers no new state. Verdicts — violation kind, fault
+	// location, deadlock — are preserved; state and transition counts are
+	// typically much smaller, and the counterexample trace may take a
+	// different (equivalent) interleaving than the full search's.
+	// Simulation mode ignores the setting.
+	AmpleSets
+)
+
+func (r Reduction) String() string {
+	if r == AmpleSets {
+		return "ample-sets"
+	}
+	return "none"
+}
+
+// PORStats reports what the ample-set reduction did during a search.
+type PORStats struct {
+	// AmpleStates counts expanded states where a proper ample subset was
+	// found; FullStates counts states expanded in full (no valid ample
+	// set existed).
+	AmpleStates int64
+	FullStates  int64
+	// ProvisoFallbacks counts ample expansions that reverted to full
+	// expansion because every ample successor was already visited (the
+	// cycle proviso: deferred transitions must not be ignored forever
+	// around a cycle).
+	ProvisoFallbacks int64
+	// DeferredTransitions counts enabled communications the reduction did
+	// not fire — an upper bound on the direct successor work avoided.
+	DeferredTransitions int64
+}
+
+// HitRate is the fraction of expanded states that used a proper ample
+// subset (0 when nothing was expanded).
+func (p *PORStats) HitRate() float64 {
+	total := p.AmpleStates + p.FullStates
+	if total == 0 {
+		return 0
+	}
+	return float64(p.AmpleStates) / float64(total)
+}
+
 // Options configures a check.
 type Options struct {
 	Mode Mode
@@ -66,7 +121,18 @@ type Options struct {
 	// specific counterexample returned may vary between runs when the
 	// program has more than one violation. Simulation mode is always
 	// single-threaded (determinism comes from Seed).
+	//
+	// With Reduction enabled the cycle-proviso decision reads the shared
+	// visited set, so at Workers > 1 the explored state count may vary
+	// slightly between runs (a lost race only causes an extra full
+	// expansion — a superset of the reduced search, so verdicts are still
+	// preserved). Workers: 1 with Reduction remains bit-for-bit
+	// deterministic.
 	Workers int
+	// Reduction selects the partial-order reduction (default: none). The
+	// AmpleSets mode uses the program's ir.Independence table, computing
+	// it on demand when the program was not optimized.
+	Reduction Reduction
 	// MaxStates bounds the number of distinct states explored
 	// (0 = 10 million).
 	MaxStates int
@@ -232,6 +298,9 @@ type Result struct {
 	MemBytes  int64 // memory used by the visited-state structure
 	Mode      Mode
 	Workers   int // search workers actually used
+	// POR carries the ample-set reduction counters; nil when the search
+	// ran without reduction.
+	POR *PORStats
 }
 
 func (r *Result) String() string {
@@ -244,6 +313,9 @@ func (r *Result) String() string {
 	par := ""
 	if r.Workers > 1 {
 		par = fmt.Sprintf(", %d workers", r.Workers)
+	}
+	if r.POR != nil {
+		par += ", por"
 	}
 	return fmt.Sprintf("%s — %d states, %d transitions, depth %d, %v, %.1f KB (%s mode%s)",
 		status, r.States, r.Transitions, r.MaxDepth, r.Elapsed.Round(time.Millisecond),

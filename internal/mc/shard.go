@@ -64,26 +64,39 @@ func shardIndex(key string) int {
 // first time the key is seen: the check and the insert must be one
 // operation, or two workers reaching the same state simultaneously would
 // both count and expand it.
+//
+// MarkClosed/Closed support the partial-order reduction's cycle proviso
+// (see expand): a state is "closed" once a worker has started expanding
+// it. An ample set may defer transitions as long as one of its successor
+// states is not closed yet — that successor's own (strictly later)
+// expansion keeps the deferred transitions reachable. Implementations
+// without per-key storage answer Closed conservatively with true, which
+// degrades the proviso to "some successor is brand new" — less
+// reduction, still sound.
 type shardedSet interface {
 	TryAdd(key string) bool
+	MarkClosed(key string)
+	Closed(key string) bool
 	MemBytes() int64
 }
 
-// shardedMapSet is the exact (Exhaustive-mode) visited set.
+// shardedMapSet is the exact (Exhaustive-mode) visited set. The value
+// records whether the state's expansion has started (the reduction's
+// closed flag); plain searches never read it.
 type shardedMapSet struct {
 	shards [numShards]mapShard
 }
 
 type mapShard struct {
 	mu    sync.Mutex
-	m     map[string]struct{}
+	m     map[string]bool
 	bytes int64
 }
 
 func newShardedMapSet() *shardedMapSet {
 	s := &shardedMapSet{}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string]struct{})
+		s.shards[i].m = make(map[string]bool)
 	}
 	return s
 }
@@ -95,10 +108,25 @@ func (s *shardedMapSet) TryAdd(key string) bool {
 		sh.mu.Unlock()
 		return false
 	}
-	sh.m[key] = struct{}{}
+	sh.m[key] = false
 	sh.bytes += int64(len(key)) + 16
 	sh.mu.Unlock()
 	return true
+}
+
+func (s *shardedMapSet) MarkClosed(key string) {
+	sh := &s.shards[shardIndex(key)]
+	sh.mu.Lock()
+	sh.m[key] = true
+	sh.mu.Unlock()
+}
+
+func (s *shardedMapSet) Closed(key string) bool {
+	sh := &s.shards[shardIndex(key)]
+	sh.mu.Lock()
+	closed := sh.m[key]
+	sh.mu.Unlock()
+	return closed
 }
 
 func (s *shardedMapSet) MemBytes() int64 {
@@ -160,5 +188,13 @@ func (s *shardedBitSet) setBit(pos uint64) bool {
 		}
 	}
 }
+
+// MarkClosed is a no-op: bit-state hashing stores no per-key flag.
+func (s *shardedBitSet) MarkClosed(string) {}
+
+// Closed answers true conservatively (see the interface comment): the
+// reduction's proviso then accepts only brand-new successors as
+// deferral witnesses.
+func (s *shardedBitSet) Closed(string) bool { return true }
 
 func (s *shardedBitSet) MemBytes() int64 { return int64(len(s.words) * 8) }

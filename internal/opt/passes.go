@@ -130,9 +130,11 @@ func pipeline(opts Options) (progPasses []ProgramPass, local []Pass) {
 // Run aborts with a descriptive error naming the offending pass the
 // moment a rewrite corrupts the program.
 func Run(prog *ir.Program, opts Options) (*Stats, error) {
-	// Any rewrite invalidates a cached fused translation and schedule.
+	// Any rewrite invalidates a cached fused translation, schedule, and
+	// independence table.
 	prog.Fused = nil
 	prog.Schedule, prog.FusedSched = nil, nil
+	prog.Indep = nil
 	rounds := opts.MaxRounds
 	if rounds == 0 {
 		rounds = 8
@@ -210,6 +212,9 @@ func Run(prog *ir.Program, opts Options) (*Stats, error) {
 			ps.Changed++
 		}
 	}
+	// The independence table, like the schedule, is read off the settled
+	// code; the model checker's partial-order reduction consumes it.
+	prog.Indep = analysis.ComputeIndependence(prog)
 	return stats, nil
 }
 
@@ -239,5 +244,6 @@ func runExtra(prog *ir.Program, opts Options, extra ...Pass) (*Stats, error) {
 	if opts.FuseProcs {
 		fuseProcsPass{}.RunProgram(prog)
 	}
+	prog.Indep = analysis.ComputeIndependence(prog)
 	return stats, nil
 }

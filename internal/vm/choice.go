@@ -55,6 +55,29 @@ func (m *Machine) EnabledComms() []CommChoice {
 	return out
 }
 
+// OfferedChannels appends to buf the channels process pi currently
+// offers a communication on: the waited channel of a blocked send or
+// receive, or the channels of every guard-enabled arm of a blocked alt.
+// A halted or faulted process offers nothing. The model checker's
+// partial-order reduction uses this to close an ample candidate set over
+// everything the member processes could synchronize on right now.
+func (m *Machine) OfferedChannels(pi int, buf []int) []int {
+	p := m.Procs[pi]
+	switch p.Status {
+	case PBlockedSend, PBlockedRecv:
+		buf = append(buf, p.WaitChan)
+	case PBlockedAlt:
+		def := p.Def.Alts[p.AltIdx]
+		for ai := range def.Arms {
+			arm := &def.Arms[ai]
+			if guardTrue(p, arm) {
+				buf = append(buf, arm.Chan)
+			}
+		}
+	}
+	return buf
+}
+
 // enumReceivers appends a choice for every receiver able (or potentially
 // able) to take a message on chanID from sender si. When s is non-nil the
 // sender's pending value is matched against receiver patterns.

@@ -1,0 +1,79 @@
+package vmmc
+
+import (
+	"testing"
+
+	esplang "esplang"
+	"esplang/internal/nic"
+)
+
+// TestVerifyFirmwarePOR is the PR's headline measurement: the ample-set
+// reduction must verify the firmware model to the same verdict while
+// visiting at least 3x fewer states, and the sequential reduced search
+// must be bit-for-bit reproducible.
+func TestVerifyFirmwarePOR(t *testing.T) {
+	cfg := nic.DefaultConfig()
+	full, err := VerifyFirmware(cfg, 2, esplang.VerifyOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Violation != nil {
+		t.Fatalf("full search: unexpected violation: %v", full.Violation)
+	}
+
+	por := esplang.VerifyOptions{Workers: 1, Reduction: esplang.AmpleSets}
+	red, err := VerifyFirmware(cfg, 2, por)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Violation != nil {
+		t.Fatalf("reduced search: unexpected violation: %v", red.Violation)
+	}
+	if red.POR == nil || red.POR.AmpleStates == 0 {
+		t.Fatalf("reduction never engaged: %+v", red.POR)
+	}
+	if red.States*3 > full.States {
+		t.Errorf("expected >=3x state reduction on the firmware model, got full=%d por=%d (%.2fx)",
+			full.States, red.States, float64(full.States)/float64(red.States))
+	}
+	t.Logf("firmware model: full %d states, por %d states (%.1fx), ample at %d/%d states, %d proviso fallbacks, %d deferred",
+		full.States, red.States, float64(full.States)/float64(red.States),
+		red.POR.AmpleStates, red.POR.AmpleStates+red.POR.FullStates,
+		red.POR.ProvisoFallbacks, red.POR.DeferredTransitions)
+
+	again, err := VerifyFirmware(cfg, 2, por)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.States != red.States || again.Transitions != red.Transitions || again.MaxDepth != red.MaxDepth {
+		t.Errorf("sequential reduced runs disagree: %v vs %v", red, again)
+	}
+}
+
+// TestVerifyMemSafetyPOR: the reduction must not mask any of the
+// seeded memory-safety bugs the model exists to catch.
+func TestVerifyMemSafetyPOR(t *testing.T) {
+	por := esplang.VerifyOptions{Workers: 1, Reduction: esplang.AmpleSets}
+	for _, bug := range []MemBug{BugNone, BugLeak, BugUseAfterFree, BugDoubleFree} {
+		full, err := VerifyMemSafety(bug, esplang.VerifyOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", bug, err)
+		}
+		red, err := VerifyMemSafety(bug, por)
+		if err != nil {
+			t.Fatalf("%v: %v", bug, err)
+		}
+		if (full.Violation == nil) != (red.Violation == nil) {
+			t.Errorf("%v: verdicts diverge: full=%v por=%v", bug, full.Violation, red.Violation)
+			continue
+		}
+		if full.Violation != nil && red.Violation != nil {
+			ff, rf := full.Violation.Fault, red.Violation.Fault
+			if (ff == nil) != (rf == nil) {
+				t.Errorf("%v: violation class diverges: full=%v por=%v", bug, full.Violation, red.Violation)
+			} else if ff != nil && ff.Kind != rf.Kind {
+				t.Errorf("%v: fault kind diverges: full=%v por=%v", bug, ff.Kind, rf.Kind)
+			}
+		}
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Record the PR's headline benchmarks — firmware latency/bandwidth and
+# Record the PR's headline benchmarks — firmware latency/bandwidth,
 # verifier throughput across the four-tier engine matrix (baseline,
-# fused, process-fused, AOT-compiled) — into BENCH_PR9.json at the
+# fused, process-fused, AOT-compiled), and the verification workloads
+# under ample-set partial-order reduction — into BENCH_PR10.json at the
 # repository root. Commit the file so performance claims travel with
 # the code.
 #
@@ -50,7 +51,7 @@ fi
 if [ -n "$seed_file" ]; then
     set -- -seed-bench "$seed_file" "$@"
 fi
-go run ./cmd/benchrec -out BENCH_PR9.json "$@"
+go run ./cmd/benchrec -out BENCH_PR10.json "$@"
 
 if [ -n "$wt" ]; then
     git worktree remove --force "$wt"
